@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: Adaptive-Bind's fixed (recorded) backup-queue rule vs.
+ * random stealing (Section IV-C motivates the recorded scheme: stolen
+ * TBs keep landing on the same SMX, preserving their mutual locality
+ * and avoiding reconfiguration overhead).
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Scale scale = argc > 1 ? scaleFromString(argv[1])
+                           : scaleFromEnv(Scale::Small);
+
+    const char *names[] = {"join-gaussian", "bht-points",
+                           "bfs-citation"};
+
+    std::printf("Ablation: backup-queue selection "
+                "(Adaptive-Bind, DTBL, scale '%s')\n\n",
+                toString(scale));
+
+    Table t({"workload", "backup policy", "IPC", "L1 hit",
+             "stolen TBs", "adoptions"});
+    for (const char *name : names) {
+        auto w = createWorkload(name);
+        w->setup(scale, 1);
+        for (BackupPolicy bp :
+             {BackupPolicy::Recorded, BackupPolicy::Random}) {
+            GpuConfig cfg = paperConfig();
+            cfg.dynParModel = DynParModel::DTBL;
+            cfg.tbPolicy = TbPolicy::AdaptiveBind;
+            cfg.backupPolicy = bp;
+            Gpu gpu(cfg);
+            gpu.runWaves(w->waves());
+            const GpuStats &s = gpu.stats();
+            t.addRow({name,
+                      bp == BackupPolicy::Recorded ? "recorded (paper)"
+                                                   : "random",
+                      fmtF(s.ipc()), fmtPct(s.l1Total().hitRate()),
+                      fmtU(s.unboundDispatches),
+                      fmtU(s.backupAdoptions)});
+        }
+        t.addRule();
+    }
+    t.print();
+    return 0;
+}

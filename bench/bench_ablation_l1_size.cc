@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: L1 cache size sensitivity (Section IV-F notes the small
+ * 48KB-max L1 may not hold the reusable parent/child data; larger L1s
+ * amplify what SMX binding can capture).
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Scale scale = argc > 1 ? scaleFromString(argv[1])
+                           : scaleFromEnv(Scale::Small);
+
+    const char *names[] = {"bfs-citation", "bht-points"};
+    const std::uint32_t sizes[] = {16, 32, 48, 64};
+
+    std::printf("Ablation: L1 size under RR vs LaPerm "
+                "(DTBL, scale '%s')\n\n",
+                toString(scale));
+
+    Table t({"workload", "L1 KB", "RR L1 hit", "LaPerm L1 hit",
+             "RR IPC", "LaPerm IPC"});
+    for (const char *name : names) {
+        auto w = createWorkload(name);
+        w->setup(scale, 1);
+        for (std::uint32_t kb : sizes) {
+            GpuConfig cfg = paperConfig();
+            cfg.dynParModel = DynParModel::DTBL;
+            cfg.l1Size = kb * 1024;
+            cfg.tbPolicy = TbPolicy::RR;
+            RunResult rr = runOne(*w, cfg);
+            cfg.tbPolicy = TbPolicy::AdaptiveBind;
+            RunResult lp = runOne(*w, cfg);
+            t.addRow({name, fmtU(kb), fmtPct(rr.l1HitRate),
+                      fmtPct(lp.l1HitRate), fmtF(rr.ipc),
+                      fmtF(lp.ipc)});
+        }
+        t.addRule();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: the maximum nesting priority level L (Section IV-A clamps
+ * nested launches to L). Deep-nesting workloads (AMR launches
+ * grandchildren) distinguish L=1 from L>=2.
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Scale scale = argc > 1 ? scaleFromString(argv[1])
+                           : scaleFromEnv(Scale::Small);
+
+    const char *names[] = {"amr-combustion", "bfs-citation"};
+    const std::uint32_t levels[] = {1, 2, 4, 8};
+
+    std::printf("Ablation: maximum priority levels L "
+                "(Adaptive-Bind, DTBL, scale '%s')\n\n",
+                toString(scale));
+
+    Table t({"workload", "L", "IPC", "L1 hit", "L2 hit", "cycles"});
+    for (const char *name : names) {
+        auto w = createWorkload(name);
+        w->setup(scale, 1);
+        for (std::uint32_t level : levels) {
+            GpuConfig cfg = paperConfig();
+            cfg.dynParModel = DynParModel::DTBL;
+            cfg.tbPolicy = TbPolicy::AdaptiveBind;
+            cfg.maxPriorityLevels = level;
+            RunResult r = runOne(*w, cfg);
+            t.addRow({name, fmtU(level), fmtF(r.ipc),
+                      fmtPct(r.l1HitRate), fmtPct(r.l2HitRate),
+                      fmtF(r.cycles, 0)});
+        }
+        t.addRule();
+    }
+    t.print();
+    return 0;
+}

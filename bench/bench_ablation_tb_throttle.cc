@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: contention-based TB throttling (Section IV-F cites [12]'s
+ * dynamic dispatch control as a complementary optimization — the small
+ * L1 "may result in not fitting enough reusable data of the parent and
+ * child TBs, which can benefit from the incorporation of such
+ * contention-based TB control strategies"). Runs LaPerm with and
+ * without the throttle.
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Scale scale = argc > 1 ? scaleFromString(argv[1])
+                           : scaleFromEnv(Scale::Small);
+
+    const char *names[] = {"bfs-citation", "clr-cage", "bht-points"};
+
+    std::printf("Ablation: contention-based TB throttle on LaPerm "
+                "(DTBL, scale '%s')\n\n",
+                toString(scale));
+
+    Table t({"workload", "throttle", "IPC", "L1 hit", "L2 hit",
+             "cycles"});
+    for (const char *name : names) {
+        auto w = createWorkload(name);
+        w->setup(scale, 1);
+        for (bool throttle : {false, true}) {
+            GpuConfig cfg = paperConfig();
+            cfg.dynParModel = DynParModel::DTBL;
+            cfg.tbPolicy = TbPolicy::AdaptiveBind;
+            cfg.tbThrottleEnabled = throttle;
+            RunResult r = runOne(*w, cfg);
+            t.addRow({name, throttle ? "on" : "off", fmtF(r.ipc),
+                      fmtPct(r.l1HitRate), fmtPct(r.l2HitRate),
+                      fmtF(r.cycles, 0)});
+        }
+        t.addRule();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table I: the modeled GPGPU-Sim configuration. Prints the device
+ * parameters and checks them against the paper's values.
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace laperm;
+
+int
+main()
+{
+    setVerbose(false);
+    GpuConfig cfg = paperConfig();
+    cfg.validate();
+
+    std::printf("Table I: GPGPU-Sim configuration parameters "
+                "(modeled device)\n\n");
+
+    Table t({"parameter", "paper (K20c / GK110)", "modeled"});
+    t.addRow({"SMXs", "13", fmtU(cfg.numSmx)});
+    t.addRow({"threads / SMX", "2048", fmtU(cfg.maxThreadsPerSmx)});
+    t.addRow({"TBs / SMX", "16", fmtU(cfg.maxTbsPerSmx)});
+    t.addRow({"registers / SMX", "65536", fmtU(cfg.regsPerSmx)});
+    t.addRow({"shared memory / SMX", "32 KB", fmtU(cfg.smemPerSmx / 1024) + " KB"});
+    t.addRow({"L1 cache", "32 KB", fmtU(cfg.l1Size / 1024) + " KB"});
+    t.addRow({"L2 cache", "1536 KB", fmtU(cfg.l2Size / 1024) + " KB"});
+    t.addRow({"cache line", "128 B", fmtU(kLineBytes) + " B"});
+    t.addRow({"max concurrent kernels", "32", fmtU(cfg.kduEntries)});
+    t.addRow({"warp scheduler", "Greedy-Then-Oldest [7]",
+              toString(cfg.warpPolicy)});
+    t.addRule();
+    t.addRow({"max priority levels L", "(Sec. IV-A)",
+              fmtU(cfg.maxPriorityLevels)});
+    t.addRow({"on-chip queue entries / SMX", "128 (3KB, 24B/entry)",
+              fmtU(cfg.onchipQueueEntries)});
+    t.addRow({"shared level-0 entries", "32 (768B)",
+              fmtU(cfg.sharedQueueEntries)});
+    t.addRow({"CDP launch latency", "(methodology of [15][16])",
+              fmtU(cfg.cdpLaunchLatency) + " cycles"});
+    t.addRow({"DTBL launch latency", "(modeled, [16])",
+              fmtU(cfg.dtblLaunchLatency) + " cycles"});
+    t.print();
+
+    bool ok = cfg.numSmx == 13 && cfg.maxThreadsPerSmx == 2048 &&
+              cfg.maxTbsPerSmx == 16 && cfg.regsPerSmx == 65536 &&
+              cfg.l1Size == 32 * 1024 && cfg.l2Size == 1536 * 1024 &&
+              cfg.kduEntries == 32;
+    std::printf("\n%s\n", ok ? "configuration matches Table I"
+                             : "MISMATCH against Table I");
+    return ok ? 0 : 1;
+}

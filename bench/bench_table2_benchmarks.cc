@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table II: the benchmark suite. Instantiates every application/input
+ * pair, prints its generated-input statistics and the dynamic-
+ * parallelism launch profile (a trace-level walk, no timing).
+ */
+
+#include <cstdio>
+
+#include "analysis/footprint.hh"
+#include "common/log.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Scale scale = argc > 1 ? scaleFromString(argv[1])
+                           : scaleFromEnv(Scale::Small);
+
+    std::printf("Table II: benchmark applications and inputs "
+                "(scale '%s', synthetic substitutes per DESIGN.md)\n\n",
+                toString(scale));
+
+    Table t({"workload", "waves", "host TBs", "device launches",
+             "child TBs", "footprint"});
+    for (const auto &name : workloadNames()) {
+        auto w = createWorkload(name);
+        w->setup(scale, 1);
+        FootprintReport rep = analyzeFootprint(*w);
+        t.addRow({name, fmtU(w->waves().size()), fmtU(rep.hostTbs),
+                  fmtU(rep.deviceLaunches), fmtU(rep.childTbs),
+                  fmtF(w->footprintBytes() / 1e6, 1) + " MB"});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,167 @@
+#include "analysis/footprint.hh"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.hh"
+#include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
+
+namespace laperm {
+
+namespace {
+
+using LineSet = std::unordered_set<Addr>;
+
+/** One logical TB with its footprint and children. */
+struct TbNode
+{
+    LineSet lines;
+    std::vector<std::uint32_t> children; ///< indices into the node pool
+    bool isHost = false;
+};
+
+/** Emit one TB's threads, collecting lines and child launches. */
+void
+expandTb(const KernelProgram &program, std::uint32_t tb_index,
+         std::uint32_t threads_per_tb, std::uint32_t num_tbs,
+         LineSet &lines, std::vector<LaunchRequest> &launches)
+{
+    for (std::uint32_t t = 0; t < threads_per_tb; ++t) {
+        ThreadCtx ctx(tb_index, t, threads_per_tb, num_tbs);
+        program.emitThread(ctx);
+        for (const ThreadOp &op : ctx.ops()) {
+            if (op.kind == OpKind::Load || op.kind == OpKind::Store)
+                lines.insert(op.addr);
+        }
+        for (const LaunchRequest &req : ctx.launches())
+            launches.push_back(req);
+    }
+}
+
+/**
+ * Weighted sibling-sharing accumulator over one family of TBs:
+ * sums cos (lines of each member shared with >= 1 other member) and
+ * cs (the union footprint of the other members) across members.
+ */
+void
+accumulateSibling(const std::vector<const LineSet *> &family,
+                  std::uint64_t &cos_sum, std::uint64_t &cs_sum,
+                  std::uint64_t &co_sum)
+{
+    if (family.size() < 2)
+        return;
+    std::unordered_map<Addr, std::uint32_t> count;
+    for (const LineSet *m : family) {
+        for (Addr line : *m)
+            ++count[line];
+    }
+    const std::uint64_t total_union = count.size();
+    for (const LineSet *m : family) {
+        std::uint64_t shared = 0, exclusive = 0;
+        for (Addr line : *m) {
+            auto it = count.find(line);
+            if (it->second >= 2)
+                ++shared;
+            else
+                ++exclusive;
+        }
+        cos_sum += shared;
+        cs_sum += total_union - exclusive;
+        co_sum += m->size();
+    }
+}
+
+} // namespace
+
+FootprintReport
+analyzeFootprint(const Workload &workload)
+{
+    FootprintReport rep;
+    std::uint64_t pc_sum = 0, c_sum = 0;
+    std::uint64_t cos_sum = 0, cs_sum = 0, co_sum = 0;
+    std::uint64_t pp_cos_sum = 0, pp_cs_sum = 0, pp_co_sum = 0;
+
+    for (const LaunchRequest &wave : workload.waves()) {
+        // Expand the whole wave (host TBs + nested children).
+        std::deque<TbNode> nodes;
+        struct Pending
+        {
+            LaunchRequest req;
+            std::int64_t parent; ///< node index or -1 for host
+        };
+        std::deque<Pending> queue;
+        queue.push_back({wave, -1});
+
+        std::vector<std::uint32_t> host_tbs;
+        while (!queue.empty()) {
+            Pending p = std::move(queue.front());
+            queue.pop_front();
+            for (std::uint32_t tb = 0; tb < p.req.numTbs; ++tb) {
+                std::uint32_t ix =
+                    static_cast<std::uint32_t>(nodes.size());
+                nodes.emplace_back();
+                TbNode &node = nodes.back();
+                node.isHost = p.parent < 0;
+                std::vector<LaunchRequest> launches;
+                expandTb(*p.req.program, tb, p.req.threadsPerTb,
+                         p.req.numTbs, node.lines, launches);
+                if (p.parent >= 0) {
+                    nodes[static_cast<std::size_t>(p.parent)]
+                        .children.push_back(ix);
+                    ++rep.childTbs;
+                } else {
+                    host_tbs.push_back(ix);
+                    ++rep.hostTbs;
+                }
+                rep.deviceLaunches += launches.size();
+                for (LaunchRequest &req : launches)
+                    queue.push_back({std::move(req), ix});
+            }
+        }
+
+        // Parent-child and child-sibling over each direct parent.
+        for (const TbNode &node : nodes) {
+            if (node.children.empty())
+                continue;
+            ++rep.directParents;
+
+            std::unordered_set<Addr> child_union;
+            std::vector<const LineSet *> family;
+            for (std::uint32_t c : node.children) {
+                family.push_back(&nodes[c].lines);
+                child_union.insert(nodes[c].lines.begin(),
+                                   nodes[c].lines.end());
+            }
+            std::uint64_t shared = 0;
+            for (Addr line : node.lines)
+                shared += child_union.count(line);
+            pc_sum += shared;
+            c_sum += child_union.size();
+
+            accumulateSibling(family, cos_sum, cs_sum, co_sum);
+        }
+
+        // Parent-parent: sibling sharing among the wave's host TBs.
+        // Large waves are sampled to keep the union tractable.
+        std::vector<const LineSet *> hosts;
+        std::size_t step = std::max<std::size_t>(1, host_tbs.size() / 256);
+        for (std::size_t i = 0; i < host_tbs.size(); i += step)
+            hosts.push_back(&nodes[host_tbs[i]].lines);
+        accumulateSibling(hosts, pp_cos_sum, pp_cs_sum, pp_co_sum);
+    }
+
+    rep.parentChild =
+        c_sum ? static_cast<double>(pc_sum) / c_sum : 0.0;
+    rep.childSibling =
+        cs_sum ? static_cast<double>(cos_sum) / cs_sum : 0.0;
+    rep.childSiblingOwn =
+        co_sum ? static_cast<double>(cos_sum) / co_sum : 0.0;
+    rep.parentParent =
+        pp_cs_sum ? static_cast<double>(pp_cos_sum) / pp_cs_sum : 0.0;
+    return rep;
+}
+
+} // namespace laperm

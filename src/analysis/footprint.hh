@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared-footprint analysis reproducing the methodology of Section
+ * III-A / Figure 2: 128-byte-line footprints per TB, intersected
+ * between direct parents and their children, among sibling children,
+ * and among parent-kernel TBs.
+ */
+
+#ifndef LAPERM_ANALYSIS_FOOTPRINT_HH
+#define LAPERM_ANALYSIS_FOOTPRINT_HH
+
+#include <cstdint>
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/** Shared-footprint ratios for one workload instance. */
+struct FootprintReport
+{
+    /**
+     * Parent-child ratio pc/c: lines shared between each direct parent
+     * TB and the union of its children, over the children's footprint.
+     * Weighted average over all direct parents.
+     */
+    double parentChild = 0.0;
+
+    /**
+     * Child-sibling ratio cos/cs: lines a child shares with the union
+     * of its siblings, over the siblings' footprint. Weighted average
+     * over all children with at least one sibling.
+     */
+    double childSibling = 0.0;
+
+    /**
+     * Alternative normalization cos/co: the fraction of a child's own
+     * footprint shared with its siblings. With many single-TB
+     * launches per parent TB (our launch granularity) the cos/cs
+     * union-normalized ratio shrinks as 1/siblings even under heavy
+     * sharing; cos/co is the size-independent sharing measure.
+     */
+    double childSiblingOwn = 0.0;
+
+    /** The same sibling ratio computed among host-kernel (parent) TBs. */
+    double parentParent = 0.0;
+
+    std::uint64_t directParents = 0; ///< parents that launched children
+    std::uint64_t childTbs = 0;
+    std::uint64_t hostTbs = 0;
+    std::uint64_t deviceLaunches = 0;
+};
+
+/**
+ * Walk @p workload's waves (no timing), expanding device launches
+ * recursively, and compute the footprint-sharing report.
+ */
+FootprintReport analyzeFootprint(const Workload &workload);
+
+} // namespace laperm
+
+#endif // LAPERM_ANALYSIS_FOOTPRINT_HH

@@ -1,0 +1,30 @@
+#include "common/bump_alloc.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+
+BumpAllocator::BumpAllocator(Addr base)
+    : base_(lineAddr(base + kLineBytes - 1)), cursor_(base_)
+{
+}
+
+Addr
+BumpAllocator::alloc(std::size_t bytes, const std::string &name)
+{
+    laperm_assert(bytes > 0, "zero-sized allocation '%s'", name.c_str());
+    Addr addr = cursor_;
+    Addr end = addr + bytes;
+    cursor_ = lineAddr(end + kLineBytes - 1);
+    regions_.push_back({name, addr, bytes});
+    return addr;
+}
+
+Addr
+BumpAllocator::allocArray(std::size_t count, std::size_t elem_bytes,
+                          const std::string &name)
+{
+    return alloc(count * elem_bytes, name);
+}
+
+} // namespace laperm

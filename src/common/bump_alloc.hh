@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bump allocator for laying out simulated data structures in the 64-bit
+ * simulated global-memory address space. No data is stored — only the
+ * address ranges matter for cache behaviour.
+ */
+
+#ifndef LAPERM_COMMON_BUMP_ALLOC_HH
+#define LAPERM_COMMON_BUMP_ALLOC_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace laperm {
+
+/**
+ * Allocates named, line-aligned regions of the simulated address space.
+ * Used by workloads to model cudaMalloc'd buffers.
+ */
+class BumpAllocator
+{
+  public:
+    /** A named region of simulated memory. */
+    struct Region
+    {
+        std::string name;
+        Addr base;
+        std::size_t bytes;
+    };
+
+    /** @param base first address handed out (default leaves page 0 unused). */
+    explicit BumpAllocator(Addr base = 0x10000000ull);
+
+    /**
+     * Allocate @p bytes, aligned to a cache line.
+     * @return base address of the region.
+     */
+    Addr alloc(std::size_t bytes, const std::string &name = "");
+
+    /**
+     * Allocate an array of @p count elements of @p elem_bytes each.
+     * @return base address; element i lives at base + i * elem_bytes.
+     */
+    Addr allocArray(std::size_t count, std::size_t elem_bytes,
+                    const std::string &name = "");
+
+    /** All regions allocated so far, in allocation order. */
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Total bytes allocated (including alignment padding). */
+    std::size_t totalBytes() const { return cursor_ - base_; }
+
+  private:
+    Addr base_;
+    Addr cursor_;
+    std::vector<Region> regions_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_COMMON_BUMP_ALLOC_HH

@@ -1,0 +1,71 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace laperm {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+std::string
+logFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return fmt;
+    }
+    std::string buf(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(buf.data(), buf.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return buf;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbose)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace laperm

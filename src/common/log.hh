@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error/status reporting helpers following the gem5 idiom: panic() for
+ * simulator bugs, fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef LAPERM_COMMON_LOG_HH
+#define LAPERM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <string>
+
+namespace laperm {
+
+/** Terminate with abort(); use for internal invariant violations. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Terminate with exit(1); use for user-caused errors (bad config). */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string logFormat(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace laperm
+
+#define laperm_panic(...) \
+    ::laperm::panicImpl(__FILE__, __LINE__, ::laperm::logFormat(__VA_ARGS__))
+#define laperm_fatal(...) \
+    ::laperm::fatalImpl(__FILE__, __LINE__, ::laperm::logFormat(__VA_ARGS__))
+#define laperm_warn(...) ::laperm::warnImpl(::laperm::logFormat(__VA_ARGS__))
+#define laperm_inform(...) ::laperm::informImpl(::laperm::logFormat(__VA_ARGS__))
+
+/** Panic unless @p cond holds; used for internal invariants. */
+#define laperm_assert(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::laperm::panicImpl(__FILE__, __LINE__,                         \
+                std::string("assertion failed: " #cond " — ") +            \
+                ::laperm::logFormat(__VA_ARGS__));                          \
+        }                                                                   \
+    } while (0)
+
+#endif // LAPERM_COMMON_LOG_HH

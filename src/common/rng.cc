@@ -1,0 +1,99 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace laperm {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &w : s_)
+        w = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveGauss_) {
+        haveGauss_ = false;
+        return gauss_;
+    }
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    while (u1 <= 1e-300)
+        u1 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    gauss_ = r * std::sin(theta);
+    haveGauss_ = true;
+    return r * std::cos(theta);
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double s)
+{
+    // Inverse-CDF on the bounded Pareto approximation of the Zipf law,
+    // then clamp into range. Accurate enough for workload skew modeling.
+    if (n <= 1)
+        return 0;
+    double u = nextDouble();
+    double v;
+    if (s == 1.0) {
+        v = std::exp(u * std::log(static_cast<double>(n)));
+    } else {
+        double t = std::pow(static_cast<double>(n), 1.0 - s);
+        v = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    std::uint64_t k = static_cast<std::uint64_t>(v) - (v >= 1.0 ? 1 : 0);
+    return k >= n ? n - 1 : k;
+}
+
+} // namespace laperm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generator used by every
+ * input-data generator so experiment runs are exactly reproducible.
+ */
+
+#ifndef LAPERM_COMMON_RNG_HH
+#define LAPERM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace laperm {
+
+/**
+ * xoshiro256** generator. Small, fast, and fully deterministic across
+ * platforms (unlike std::mt19937 distributions, whose mapping to ranges
+ * is implementation-defined via std::uniform_int_distribution).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal via Box-Muller. */
+    double nextGaussian();
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent @p s.
+     * Uses the rejection method of Jason Crease / W. Hormann; O(1).
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveGauss_ = false;
+    double gauss_ = 0.0;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_COMMON_RNG_HH

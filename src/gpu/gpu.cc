@@ -1,0 +1,160 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+Gpu::Gpu(const GpuConfig &cfg)
+    : cfg_(cfg), mem_(cfg), kdu_(cfg.kduEntries)
+{
+    cfg_.validate();
+    sched_ = TbScheduler::create(cfg_, *this);
+    launcher_ = std::make_unique<Launcher>(cfg_, kdu_, *sched_, stats_,
+                                           undispatchedTbs_);
+    for (SmxId i = 0; i < cfg_.numSmx; ++i)
+        smxs_.push_back(std::make_unique<Smx>(i, cfg_, mem_, *this));
+    stats_.smx.resize(cfg_.numSmx);
+}
+
+Gpu::~Gpu() = default;
+
+void
+Gpu::setDispatchHook(DispatchHook hook, void *ctx)
+{
+    dispatchHook_ = hook;
+    dispatchHookCtx_ = ctx;
+}
+
+void
+Gpu::launchHostKernel(const LaunchRequest &req)
+{
+    launcher_->hostLaunch(req, cycle_);
+}
+
+bool
+Gpu::idle() const
+{
+    return undispatchedTbs_ == 0 && activeTbs_ == 0 && launcher_->idle();
+}
+
+void
+Gpu::tick()
+{
+    bool launched = launcher_->tick(cycle_);
+    bool dispatched = sched_->dispatchOne(cycle_);
+    bool progress = launched || dispatched;
+    for (auto &smx : smxs_)
+        progress |= smx->tick(cycle_);
+
+    if (progress) {
+        ++cycle_;
+        return;
+    }
+
+    // Nothing happened: jump to the next event (warp wakeup, launch
+    // readiness, or an overflow-fetch completion).
+    Cycle next = kNoCycle;
+    for (const auto &smx : smxs_)
+        next = std::min(next, smx->nextEventAt(cycle_));
+    next = std::min(next, launcher_->nextReadyAt(cycle_));
+    next = std::min(next, sched_->nextReadyAt(cycle_));
+    if (next == kNoCycle || next <= cycle_)
+        ++cycle_;
+    else
+        cycle_ = next;
+}
+
+void
+Gpu::runToIdle(Cycle max_cycles)
+{
+    Cycle start = cycle_;
+    while (!idle()) {
+        tick();
+        if (cycle_ - start > max_cycles) {
+            laperm_panic("simulation exceeded %llu cycles "
+                         "(undispatched=%llu active=%llu pending=%zu)",
+                         static_cast<unsigned long long>(max_cycles),
+                         static_cast<unsigned long long>(undispatchedTbs_),
+                         static_cast<unsigned long long>(activeTbs_),
+                         launcher_->kmu().size());
+        }
+    }
+}
+
+void
+Gpu::runWaves(const std::vector<LaunchRequest> &waves)
+{
+    for (const LaunchRequest &wave : waves) {
+        launchHostKernel(wave);
+        runToIdle();
+    }
+}
+
+const GpuStats &
+Gpu::stats()
+{
+    stats_.cycles = cycle_;
+    for (SmxId i = 0; i < cfg_.numSmx; ++i)
+        stats_.smx[i] = smxs_[i]->stats();
+    mem_.exportStats(stats_);
+    return stats_;
+}
+
+bool
+Gpu::fits(SmxId smx, const DispatchUnit &unit) const
+{
+    const std::uint32_t threads = unit.threadsPerTb;
+    const std::uint32_t regs =
+        unit.program->regsPerThread() * threads;
+    const std::uint32_t smem = unit.program->smemPerTb();
+    return smxs_[smx]->canAccommodate(threads, regs, smem);
+}
+
+void
+Gpu::dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now)
+{
+    laperm_assert(!unit.exhausted(), "dispatching an exhausted unit");
+    const std::uint32_t ix = unit.nextTb++;
+
+    auto tb = buildThreadBlock(*unit.program, ix, unit.threadsPerTb,
+                               unit.count);
+    tb->uid = nextTbUid_++;
+    tb->kernel = unit.kernel;
+    tb->priority = unit.priority;
+    tb->directParent = unit.directParent;
+    tb->isDynamic = unit.directParent != kNoTb;
+
+    ++unit.kernel->dispatchedTbs;
+    laperm_assert(undispatchedTbs_ > 0, "undispatched TB underflow");
+    --undispatchedTbs_;
+    ++activeTbs_;
+
+    if (dispatchHook_) {
+        tb->smx = smx;
+        tb->dispatchCycle = now;
+        dispatchHook_(dispatchHookCtx_, *tb);
+    }
+    smxs_[smx]->acceptTb(std::move(tb), now);
+}
+
+void
+Gpu::deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
+                  Cycle now)
+{
+    if (req.threadsPerTb > cfg_.maxThreadsPerSmx)
+        laperm_fatal("device launch TB of %u threads exceeds SMX limit",
+                     req.threadsPerTb);
+    launcher_->deviceLaunch(req, parent, now);
+}
+
+void
+Gpu::tbCompleted(ThreadBlock &tb, Cycle)
+{
+    kdu_.tbFinished(tb.kernel);
+    laperm_assert(activeTbs_ > 0, "active TB underflow");
+    --activeTbs_;
+}
+
+} // namespace laperm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The top-level device: wires the memory system, SMXs, KDU, KMU,
+ * launcher and the selected TB scheduler into a cycle-driven simulator.
+ */
+
+#ifndef LAPERM_GPU_GPU_HH
+#define LAPERM_GPU_GPU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dynpar/launcher.hh"
+#include "gpu/kdu.hh"
+#include "gpu/smx.hh"
+#include "mem/mem_system.hh"
+#include "sched/tb_scheduler.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace laperm {
+
+/**
+ * A simulated GPU. Usage:
+ *
+ *     Gpu gpu(cfg);
+ *     gpu.launchHostKernel(wave0);
+ *     gpu.runToIdle();
+ *     gpu.launchHostKernel(wave1);  // next host wave
+ *     gpu.runToIdle();
+ *     const GpuStats &s = gpu.stats();
+ */
+class Gpu : public SmxCallbacks, public DispatchContext
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg);
+    ~Gpu() override;
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Enqueue a host kernel (models a <<<>>> launch + its grid). */
+    void launchHostKernel(const LaunchRequest &req);
+
+    /**
+     * Run until all launched work — including dynamically spawned
+     * kernels/TB groups — has drained.
+     */
+    void runToIdle(Cycle max_cycles = Cycle(1) << 36);
+
+    /** Convenience: launch each wave and drain it before the next. */
+    void runWaves(const std::vector<LaunchRequest> &waves);
+
+    /** Finalized statistics (also flushes cache/SMX counters). */
+    const GpuStats &stats();
+
+    Cycle now() const { return cycle_; }
+    const GpuConfig &config() const { return cfg_; }
+    const MemSystem &mem() const { return mem_; }
+    const Kdu &kdu() const { return kdu_; }
+
+    /** TBs dispatched and not yet finished. */
+    std::uint64_t activeTbs() const { return activeTbs_; }
+    /** TBs visible to the scheduler but not yet dispatched. */
+    std::uint64_t undispatchedTbs() const { return undispatchedTbs_; }
+
+    /**
+     * Optional dispatch probe for tests/visualization: called as
+     * (tb_uid, kernel_id, tb_index, smx, cycle, priority, parent).
+     */
+    using DispatchHook = void (*)(void *ctx, const ThreadBlock &tb);
+    void setDispatchHook(DispatchHook hook, void *ctx);
+
+    // --- DispatchContext ---
+    std::uint32_t numSmx() const override { return cfg_.numSmx; }
+    bool fits(SmxId smx, const DispatchUnit &unit) const override;
+    void dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now) override;
+    GpuStats &mutableStats() override { return stats_; }
+
+    // --- SmxCallbacks ---
+    void deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
+                      Cycle now) override;
+    void tbCompleted(ThreadBlock &tb, Cycle now) override;
+
+  private:
+    void tick();
+    bool idle() const;
+
+    GpuConfig cfg_;
+    MemSystem mem_;
+    Kdu kdu_;
+    std::unique_ptr<TbScheduler> sched_;
+    std::unique_ptr<Launcher> launcher_;
+    std::vector<std::unique_ptr<Smx>> smxs_;
+
+    GpuStats stats_;
+    Cycle cycle_ = 0;
+    TbUid nextTbUid_ = 0;
+    std::uint64_t undispatchedTbs_ = 0;
+    std::uint64_t activeTbs_ = 0;
+    std::uint64_t issuedInstSnapshot_ = 0;
+
+    DispatchHook dispatchHook_ = nullptr;
+    void *dispatchHookCtx_ = nullptr;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_GPU_GPU_HH

@@ -1,0 +1,71 @@
+#include "gpu/kdu.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+
+Kdu::Kdu(std::uint32_t entries) : entries_(entries)
+{
+    laperm_assert(entries_ > 0, "KDU needs at least one entry");
+}
+
+KernelInstance *
+Kdu::admitKernel(std::uint32_t function_id, std::uint32_t threads_per_tb,
+                 std::uint32_t total_tbs, bool is_device, Cycle now)
+{
+    laperm_assert(hasFreeEntry(), "KDU admission with no free entry");
+    ++occupied_;
+    kernels_.emplace_back();
+    KernelInstance &k = kernels_.back();
+    k.id = nextId_++;
+    k.functionId = function_id;
+    k.threadsPerTb = threads_per_tb;
+    k.totalTbs = total_tbs;
+    k.isDevice = is_device;
+    k.admitCycle = now;
+    return &k;
+}
+
+std::uint32_t
+Kdu::coalesceTbs(KernelInstance *kernel, std::uint32_t count)
+{
+    laperm_assert(!kernel->complete(), "coalescing onto a finished kernel");
+    std::uint32_t first = kernel->totalTbs;
+    kernel->totalTbs += count;
+    return first;
+}
+
+DispatchUnit *
+Kdu::createUnit()
+{
+    units_.emplace_back();
+    units_.back().seq = nextUnitSeq_++;
+    return &units_.back();
+}
+
+void
+Kdu::tbFinished(KernelInstance *kernel)
+{
+    ++kernel->finishedTbs;
+    laperm_assert(kernel->finishedTbs <= kernel->totalTbs,
+                  "kernel %u finished more TBs than it has", kernel->id);
+    if (kernel->complete()) {
+        laperm_assert(occupied_ > 0, "KDU underflow");
+        --occupied_;
+    }
+}
+
+KernelInstance *
+Kdu::findMatch(std::uint32_t function_id,
+               std::uint32_t threads_per_tb) const
+{
+    for (const auto &k : kernels_) {
+        if (!k.complete() && k.functionId == function_id &&
+            k.threadsPerTb == threads_per_tb) {
+            return const_cast<KernelInstance *>(&k);
+        }
+    }
+    return nullptr;
+}
+
+} // namespace laperm

@@ -1,0 +1,81 @@
+#include "gpu/kmu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+void
+Kmu::push(PendingLaunch launch)
+{
+    launch.seq = nextSeq_++;
+    store_.push_back(std::move(launch));
+    Iter it = std::prev(store_.end());
+    latent_.push({it->readyAt, it->seq, it});
+    ++count_;
+}
+
+void
+Kmu::promote(Cycle now)
+{
+    while (!latent_.empty() && latent_.top().readyAt <= now) {
+        Iter it = latent_.top().it;
+        latent_.pop();
+        std::uint32_t level = it->priority;
+        if (ready_.size() <= level)
+            ready_.resize(level + 1);
+        ready_[level].push_back(it);
+    }
+}
+
+PendingLaunch *
+Kmu::peekReady(Cycle now, bool priority_order)
+{
+    promote(now);
+    if (priority_order) {
+        for (std::size_t level = ready_.size(); level-- > 0;) {
+            if (!ready_[level].empty())
+                return &*ready_[level].front();
+        }
+        return nullptr;
+    }
+    // FCFS: the minimum sequence number over the level fronts (launch
+    // latency is constant per model, so readiness order == seq order
+    // within a level).
+    PendingLaunch *best = nullptr;
+    for (auto &level : ready_) {
+        if (!level.empty()) {
+            PendingLaunch *cand = &*level.front();
+            if (!best || cand->seq < best->seq)
+                best = cand;
+        }
+    }
+    return best;
+}
+
+void
+Kmu::pop(PendingLaunch *launch)
+{
+    auto &level = ready_[launch->priority];
+    laperm_assert(!level.empty() && &*level.front() == launch,
+                  "pop must target the peeked launch");
+    Iter it = level.front();
+    level.pop_front();
+    store_.erase(it);
+    --count_;
+}
+
+Cycle
+Kmu::nextReadyAt() const
+{
+    for (const auto &level : ready_) {
+        if (!level.empty())
+            return level.front()->readyAt;
+    }
+    if (!latent_.empty())
+        return latent_.top().readyAt;
+    return kNoCycle;
+}
+
+} // namespace laperm

@@ -1,0 +1,43 @@
+#include "gpu/thread_block.hh"
+
+#include "common/log.hh"
+#include "kernels/thread_ctx.hh"
+#include "kernels/warp_trace.hh"
+
+namespace laperm {
+
+std::unique_ptr<ThreadBlock>
+buildThreadBlock(const KernelProgram &program, std::uint32_t tb_index,
+                 std::uint32_t threads_per_tb, std::uint32_t num_tbs)
+{
+    laperm_assert(threads_per_tb > 0, "empty TB");
+
+    auto tb = std::make_unique<ThreadBlock>();
+    tb->tbIndex = tb_index;
+    tb->numThreads = threads_per_tb;
+    tb->regs = program.regsPerThread() * threads_per_tb;
+    tb->smem = program.smemPerTb();
+
+    std::vector<ThreadCtx> threads;
+    threads.reserve(threads_per_tb);
+    for (std::uint32_t t = 0; t < threads_per_tb; ++t) {
+        threads.emplace_back(tb_index, t, threads_per_tb, num_tbs);
+        program.emitThread(threads.back());
+    }
+
+    const std::uint32_t num_warps =
+        (threads_per_tb + kWarpSize - 1) / kWarpSize;
+    tb->warps.resize(num_warps);
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        std::uint32_t first = w * kWarpSize;
+        std::uint32_t count =
+            std::min(kWarpSize, threads_per_tb - first);
+        Warp &warp = tb->warps[w];
+        warp.ops = buildWarpOps(threads, first, count);
+        warp.numThreads = count;
+        warp.tb = tb.get();
+    }
+    return tb;
+}
+
+} // namespace laperm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Runtime state of a thread block resident on an SMX, and construction
+ * of its warps from a kernel program.
+ */
+
+#ifndef LAPERM_GPU_THREAD_BLOCK_HH
+#define LAPERM_GPU_THREAD_BLOCK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/warp.hh"
+#include "kernels/kernel_program.hh"
+
+namespace laperm {
+
+struct KernelInstance;
+
+/** A resident thread block. */
+class ThreadBlock
+{
+  public:
+    TbUid uid = 0;
+    KernelInstance *kernel = nullptr;
+    /** blockIdx within its launch (CDP grid / DTBL group / host grid). */
+    std::uint32_t tbIndex = 0;
+    SmxId smx = kNoSmx;
+    Cycle dispatchCycle = 0;
+
+    /** Scheduling priority inherited from the dispatch unit. */
+    std::uint32_t priority = 0;
+    /** Direct parent TB (kNoTb for host-launched kernels). */
+    TbUid directParent = kNoTb;
+    /** True for dynamically launched (child) TBs. */
+    bool isDynamic = false;
+
+    std::uint32_t numThreads = 0;
+    std::uint32_t regs = 0; ///< registers reserved on the SMX
+    std::uint32_t smem = 0; ///< shared memory reserved on the SMX
+
+    std::vector<Warp> warps;
+    std::uint32_t warpsAtBarrier = 0;
+    std::uint32_t warpsDone = 0;
+
+    bool allWarpsDone() const { return warpsDone == warps.size(); }
+};
+
+/**
+ * Instantiate a TB: emit per-thread traces from @p program and build the
+ * warp instruction streams.
+ *
+ * @param tb_index blockIdx within the launch.
+ * @param num_tbs gridDim of the launch.
+ */
+std::unique_ptr<ThreadBlock> buildThreadBlock(
+    const KernelProgram &program, std::uint32_t tb_index,
+    std::uint32_t threads_per_tb, std::uint32_t num_tbs);
+
+} // namespace laperm
+
+#endif // LAPERM_GPU_THREAD_BLOCK_HH

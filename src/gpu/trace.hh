@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dispatch-trace recorder: captures every TB dispatch (uid, kernel,
+ * placement, timing, lineage) via the Gpu dispatch hook and writes a
+ * CSV — the raw material for scheduling-timeline visualizations like
+ * the paper's Figure 4.
+ */
+
+#ifndef LAPERM_GPU_TRACE_HH
+#define LAPERM_GPU_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace laperm {
+
+class Gpu;
+class ThreadBlock;
+
+/** One recorded TB dispatch. */
+struct DispatchEvent
+{
+    TbUid uid;
+    KernelId kernel;
+    std::uint32_t tbIndex;
+    SmxId smx;
+    Cycle cycle;
+    std::uint32_t priority;
+    bool isDynamic;
+    TbUid directParent; ///< kNoTb for host TBs
+};
+
+/**
+ * Attaches to a Gpu's dispatch hook and accumulates events. One
+ * recorder per Gpu (the hook slot is single-occupancy).
+ */
+class DispatchTrace
+{
+  public:
+    explicit DispatchTrace(Gpu &gpu);
+
+    const std::vector<DispatchEvent> &events() const { return events_; }
+
+    /** Write "uid,kernel,tbIndex,smx,cycle,priority,dynamic,parent". */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    static void hook(void *ctx, const ThreadBlock &tb);
+
+    std::vector<DispatchEvent> events_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_GPU_TRACE_HH

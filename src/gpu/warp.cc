@@ -1,0 +1,3 @@
+#include "gpu/warp.hh"
+
+// Warp is a plain state record; logic lives in Smx and WarpScheduler.

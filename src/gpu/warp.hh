@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Runtime state of one warp resident on an SMX.
+ */
+
+#ifndef LAPERM_GPU_WARP_HH
+#define LAPERM_GPU_WARP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "kernels/warp_trace.hh"
+
+namespace laperm {
+
+class ThreadBlock;
+
+/** A warp: instruction stream plus scheduling state. */
+class Warp
+{
+  public:
+    std::vector<WarpOp> ops;
+    std::size_t pc = 0;
+
+    /** Earliest cycle the next op may issue. */
+    Cycle readyAt = 0;
+    /** Waiting at a TB barrier (not schedulable until release). */
+    bool atBarrier = false;
+    /** All ops issued and drained; the warp has retired. */
+    bool done = false;
+
+    /** Global dispatch-order stamp; GTO "oldest" tie-break. */
+    std::uint64_t age = 0;
+    /** Last cycle this warp issued (LRR recency). */
+    Cycle lastIssue = 0;
+    /** Warp-scheduler slot this warp is pinned to. */
+    std::uint32_t slot = 0;
+    /** Threads alive in this warp. */
+    std::uint32_t numThreads = 0;
+
+    ThreadBlock *tb = nullptr;
+
+    bool finishedOps() const { return pc >= ops.size(); }
+};
+
+} // namespace laperm
+
+#endif // LAPERM_GPU_WARP_HH

@@ -1,0 +1,119 @@
+#include "gpu/warp_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "gpu/thread_block.hh"
+
+namespace laperm {
+
+WarpScheduler::WarpScheduler(std::uint32_t num_slots, WarpPolicy policy)
+    : policy_(policy), slots_(num_slots)
+{
+    laperm_assert(num_slots > 0, "need at least one warp scheduler");
+}
+
+void
+WarpScheduler::addWarp(Warp *warp)
+{
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(nextAssign_++ % slots_.size());
+    warp->slot = slot;
+    slots_[slot].warps.push_back(warp);
+    ++liveWarps_;
+}
+
+void
+WarpScheduler::removeWarp(Warp *warp)
+{
+    Slot &slot = slots_[warp->slot];
+    auto it = std::find(slot.warps.begin(), slot.warps.end(), warp);
+    laperm_assert(it != slot.warps.end(), "removing unknown warp");
+    *it = slot.warps.back();
+    slot.warps.pop_back();
+    if (slot.greedy == warp)
+        slot.greedy = nullptr;
+    --liveWarps_;
+}
+
+Warp *
+WarpScheduler::pick(std::uint32_t slot_ix, Cycle now)
+{
+    Slot &slot = slots_[slot_ix];
+
+    const bool greedy_like = policy_ != WarpPolicy::LRR;
+    if (greedy_like && slot.greedy && eligible(slot.greedy, now))
+        return slot.greedy;
+
+    // TB-aware family preference: the TB family (direct parent) of
+    // the warp that issued last from this slot.
+    TbUid family = kNoTb;
+    bool have_family = false;
+    if (policy_ == WarpPolicy::TbAware && slot.greedy &&
+        slot.greedy->tb) {
+        family = slot.greedy->tb->directParent;
+        have_family = true;
+    }
+
+    Warp *best = nullptr;
+    bool best_in_family = false;
+    for (Warp *w : slot.warps) {
+        if (!eligible(w, now))
+            continue;
+        bool in_family = have_family && w->tb &&
+                         w->tb->directParent == family;
+        if (!best) {
+            best = w;
+            best_in_family = in_family;
+            continue;
+        }
+        switch (policy_) {
+          case WarpPolicy::GTO:
+            if (w->age < best->age)
+                best = w; // oldest
+            break;
+          case WarpPolicy::LRR:
+            // Least-recently issued first, oldest tie-break.
+            if (w->lastIssue < best->lastIssue ||
+                (w->lastIssue == best->lastIssue && w->age < best->age)) {
+                best = w;
+            }
+            break;
+          case WarpPolicy::TbAware:
+            // Family first, then oldest within the same class.
+            if (in_family != best_in_family) {
+                if (in_family) {
+                    best = w;
+                    best_in_family = true;
+                }
+            } else if (w->age < best->age) {
+                best = w;
+            }
+            break;
+        }
+    }
+    return best;
+}
+
+void
+WarpScheduler::issued(std::uint32_t slot_ix, Warp *warp, Cycle now)
+{
+    slots_[slot_ix].greedy = warp;
+    warp->lastIssue = now;
+}
+
+Cycle
+WarpScheduler::nextWakeup(Cycle now) const
+{
+    Cycle best = kNoCycle;
+    for (const Slot &slot : slots_) {
+        for (const Warp *w : slot.warps) {
+            if (w->done || w->atBarrier)
+                continue;
+            best = std::min(best, std::max(w->readyAt, now));
+        }
+    }
+    return best;
+}
+
+} // namespace laperm

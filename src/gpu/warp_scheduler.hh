@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-SMX warp scheduling: four scheduler slots (Kepler-style), each
+ * picking among its warps with greedy-then-oldest (GTO) or loose
+ * round-robin (LRR). LaPerm is deliberately orthogonal to this layer
+ * (paper Section IV-F).
+ */
+
+#ifndef LAPERM_GPU_WARP_SCHEDULER_HH
+#define LAPERM_GPU_WARP_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/warp.hh"
+#include "sim/config.hh"
+
+namespace laperm {
+
+/**
+ * Tracks live warps per scheduler slot and selects the next warp to
+ * issue. Warps waiting at barriers or done are never selected.
+ */
+class WarpScheduler
+{
+  public:
+    WarpScheduler(std::uint32_t num_slots, WarpPolicy policy);
+
+    /** Register a newly dispatched warp (assigned to a slot). */
+    void addWarp(Warp *warp);
+
+    /** Remove a retired warp from its slot. */
+    void removeWarp(Warp *warp);
+
+    /**
+     * Select a warp eligible to issue at @p now from @p slot, honouring
+     * the policy; nullptr if none is ready.
+     */
+    Warp *pick(std::uint32_t slot, Cycle now);
+
+    /** Record that @p warp issued at @p now (updates greedy/recency). */
+    void issued(std::uint32_t slot, Warp *warp, Cycle now);
+
+    /** Earliest cycle any warp becomes ready; kNoCycle if none pending. */
+    Cycle nextWakeup(Cycle now) const;
+
+    std::uint32_t numSlots() const
+    {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+
+    std::uint32_t liveWarps() const { return liveWarps_; }
+
+  private:
+    struct Slot
+    {
+        std::vector<Warp *> warps;
+        Warp *greedy = nullptr;
+    };
+
+    bool eligible(const Warp *warp, Cycle now) const
+    {
+        return !warp->done && !warp->atBarrier && warp->readyAt <= now;
+    }
+
+    WarpPolicy policy_;
+    std::vector<Slot> slots_;
+    std::uint64_t nextAssign_ = 0;
+    std::uint32_t liveWarps_ = 0;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_GPU_WARP_SCHEDULER_HH

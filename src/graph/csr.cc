@@ -1,0 +1,52 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+Csr
+Csr::fromEdges(std::uint32_t num_vertices,
+               std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+               bool symmetric)
+{
+    if (symmetric) {
+        std::size_t n = edges.size();
+        edges.reserve(2 * n);
+        for (std::size_t i = 0; i < n; ++i)
+            edges.emplace_back(edges[i].second, edges[i].first);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    Csr g;
+    g.offsets_.assign(num_vertices + 1, 0);
+    for (const auto &[u, v] : edges) {
+        laperm_assert(u < num_vertices && v < num_vertices,
+                      "edge (%u,%u) out of range", u, v);
+        if (u == v)
+            continue;
+        ++g.offsets_[u + 1];
+    }
+    for (std::uint32_t v = 0; v < num_vertices; ++v)
+        g.offsets_[v + 1] += g.offsets_[v];
+    g.cols_.reserve(edges.size());
+    for (const auto &[u, v] : edges) {
+        if (u == v)
+            continue;
+        g.cols_.push_back(v);
+    }
+    return g;
+}
+
+std::uint32_t
+Csr::maxDegree() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t v = 0; v < numVertices(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+} // namespace laperm

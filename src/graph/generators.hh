@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic graph/input generators substituting the paper's data
+ * sets (Table II). Each generator reproduces the structural property
+ * the paper attributes to its input:
+ *
+ *  - citation network: connectivity concentrated around nearby vertex
+ *    ids (high child-sibling footprint sharing in CSR layout);
+ *  - Graph500 logn20: RMAT — scattered connectivity (low sharing);
+ *  - cage15: banded matrix — neighbors at close indices (high sharing).
+ */
+
+#ifndef LAPERM_GRAPH_GENERATORS_HH
+#define LAPERM_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace laperm {
+
+/**
+ * Citation-network-like graph: each vertex cites ~avg_degree earlier
+ * vertices, mostly within a recency window (spatially concentrated ids)
+ * with a preferential-attachment tail for realistic degree skew.
+ */
+Csr genCitation(std::uint32_t n, std::uint32_t avg_degree,
+                std::uint64_t seed);
+
+/**
+ * Graph500-style RMAT graph (A=0.57, B=0.19, C=0.19), symmetrized.
+ * Vertex ids are scattered; heavy-tailed degrees.
+ */
+Csr genRmat(std::uint32_t scale_log2, std::uint32_t avg_degree,
+            std::uint64_t seed);
+
+/**
+ * cage15-like banded sparse matrix graph: neighbors lie within a
+ * +-bandwidth index band, nearly uniform degrees.
+ */
+Csr genCage(std::uint32_t n, std::uint32_t bandwidth,
+            std::uint32_t avg_degree, std::uint64_t seed);
+
+/** Uniform random (Erdos-Renyi style) graph, symmetrized. */
+Csr genUniform(std::uint32_t n, std::uint32_t avg_degree,
+               std::uint64_t seed);
+
+/** Per-edge weights in [1, max_weight], aligned with csr.cols(). */
+std::vector<std::uint32_t> genEdgeWeights(const Csr &csr,
+                                          std::uint32_t max_weight,
+                                          std::uint64_t seed);
+
+} // namespace laperm
+
+#endif // LAPERM_GRAPH_GENERATORS_HH

@@ -1,0 +1,206 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "workloads/registry.hh"
+
+namespace laperm {
+
+GpuConfig
+paperConfig()
+{
+    // Defaults already encode Table I; spelled out for documentation.
+    GpuConfig cfg;
+    cfg.numSmx = 13;
+    cfg.maxThreadsPerSmx = 2048;
+    cfg.maxTbsPerSmx = 16;
+    cfg.regsPerSmx = 65536;
+    cfg.smemPerSmx = 32 * 1024;
+    cfg.l1Size = 32 * 1024;
+    cfg.l2Size = 1536 * 1024;
+    cfg.kduEntries = 32;
+    cfg.warpPolicy = WarpPolicy::GTO;
+    return cfg;
+}
+
+RunResult
+runOne(const Workload &workload, const GpuConfig &cfg)
+{
+    Gpu gpu(cfg);
+    gpu.runWaves(workload.waves());
+    const GpuStats &s = gpu.stats();
+
+    RunResult r;
+    r.workload = workload.fullName();
+    r.model = cfg.dynParModel;
+    r.policy = cfg.tbPolicy;
+    r.ipc = s.ipc();
+    r.l1HitRate = s.l1Total().hitRate();
+    r.l2HitRate = s.l2.hitRate();
+    r.cycles = static_cast<double>(s.cycles);
+    r.smxUtilization = s.avgSmxUtilization();
+    r.smxImbalance = s.smxImbalance();
+    r.boundFraction =
+        s.dynamicTbs
+            ? static_cast<double>(s.boundDispatches) / s.dynamicTbs
+            : 0.0;
+    r.queueOverflows = static_cast<double>(s.queueOverflows);
+    r.kduFullStalls = static_cast<double>(s.kduFullStalls);
+    return r;
+}
+
+namespace {
+
+constexpr TbPolicy kPolicies[] = {TbPolicy::RR, TbPolicy::TbPri,
+                                  TbPolicy::SmxBind,
+                                  TbPolicy::AdaptiveBind};
+constexpr DynParModel kModels[] = {DynParModel::CDP, DynParModel::DTBL};
+
+std::string
+cachePath(Scale scale, std::uint64_t seed)
+{
+    return logFormat("laperm_results_%s_%llu.tsv", toString(scale),
+                     static_cast<unsigned long long>(seed));
+}
+
+bool
+loadCache(const std::string &path,
+          const std::vector<std::string> &names,
+          std::vector<RunResult> &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::vector<RunResult> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        RunResult r;
+        std::string model, policy;
+        int mi, pi;
+        if (!(ls >> r.workload >> mi >> pi >> r.ipc >> r.l1HitRate >>
+              r.l2HitRate >> r.cycles >> r.smxUtilization >>
+              r.smxImbalance >> r.boundFraction >> r.queueOverflows >>
+              r.kduFullStalls)) {
+            return false;
+        }
+        r.model = static_cast<DynParModel>(mi);
+        r.policy = static_cast<TbPolicy>(pi);
+        rows.push_back(std::move(r));
+    }
+    // The cache is usable only if it covers the full request.
+    for (const auto &name : names) {
+        for (DynParModel m : kModels) {
+            for (TbPolicy p : kPolicies) {
+                bool found = false;
+                for (const auto &r : rows) {
+                    if (r.workload == name && r.model == m &&
+                        r.policy == p) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    return false;
+            }
+        }
+    }
+    out = std::move(rows);
+    return true;
+}
+
+void
+saveCache(const std::string &path, const std::vector<RunResult> &rows)
+{
+    std::ofstream outf(path);
+    if (!outf)
+        return;
+    outf << "# workload model policy ipc l1 l2 cycles util imbalance "
+            "bound overflows kduStalls\n";
+    for (const auto &r : rows) {
+        outf << r.workload << ' ' << static_cast<int>(r.model) << ' '
+             << static_cast<int>(r.policy) << ' ' << r.ipc << ' '
+             << r.l1HitRate << ' ' << r.l2HitRate << ' ' << r.cycles
+             << ' ' << r.smxUtilization << ' ' << r.smxImbalance << ' '
+             << r.boundFraction << ' ' << r.queueOverflows << ' '
+             << r.kduFullStalls << '\n';
+    }
+}
+
+} // namespace
+
+std::vector<RunResult>
+runMatrix(const std::vector<std::string> &names, Scale scale,
+          std::uint64_t seed, bool use_cache)
+{
+    const char *no_cache = std::getenv("LAPERM_NO_CACHE");
+    if (no_cache && *no_cache == '1')
+        use_cache = false;
+
+    const std::string path = cachePath(scale, seed);
+    std::vector<RunResult> results;
+    if (use_cache && loadCache(path, names, results))
+        return results;
+    results.clear();
+
+    for (const auto &name : names) {
+        auto workload = createWorkload(name);
+        workload->setup(scale, seed);
+        for (DynParModel model : kModels) {
+            for (TbPolicy policy : kPolicies) {
+                GpuConfig cfg = paperConfig();
+                cfg.dynParModel = model;
+                cfg.tbPolicy = policy;
+                cfg.seed = seed;
+                results.push_back(runOne(*workload, cfg));
+                laperm_inform("%s %s/%s: ipc=%.2f l1=%.3f l2=%.3f",
+                              name.c_str(), toString(model),
+                              toString(policy), results.back().ipc,
+                              results.back().l1HitRate,
+                              results.back().l2HitRate);
+            }
+        }
+    }
+    if (use_cache)
+        saveCache(path, results);
+    return results;
+}
+
+const RunResult &
+findResult(const std::vector<RunResult> &results,
+           const std::string &workload, DynParModel model,
+           TbPolicy policy)
+{
+    for (const auto &r : results) {
+        if (r.workload == workload && r.model == model &&
+            r.policy == policy) {
+            return r;
+        }
+    }
+    laperm_fatal("no result for %s %s/%s", workload.c_str(),
+                 toString(model), toString(policy));
+}
+
+double
+meanOver(const std::vector<RunResult> &results, DynParModel model,
+         TbPolicy policy, double RunResult::*metric)
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &r : results) {
+        if (r.model == model && r.policy == policy) {
+            sum += r.*metric;
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace laperm

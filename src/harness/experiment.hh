@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Experiment driver: runs workload x model x policy configurations on
+ * the Table I device and collects the metrics the paper plots. Results
+ * are cached on disk (per scale/seed) so the per-figure bench binaries
+ * can share one simulation sweep.
+ */
+
+#ifndef LAPERM_HARNESS_EXPERIMENT_HH
+#define LAPERM_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/** The Table I configuration (K20c / GK110). */
+GpuConfig paperConfig();
+
+/** Metrics of one simulation run. */
+struct RunResult
+{
+    std::string workload;
+    DynParModel model = DynParModel::CDP;
+    TbPolicy policy = TbPolicy::RR;
+
+    double ipc = 0.0;
+    double l1HitRate = 0.0;
+    double l2HitRate = 0.0;
+    double cycles = 0.0;
+    double smxUtilization = 0.0;
+    double smxImbalance = 0.0;
+    double boundFraction = 0.0; ///< bound / dynamic TB dispatches
+    double queueOverflows = 0.0;
+    double kduFullStalls = 0.0;
+};
+
+/** Run one configuration (workload must be set up). */
+RunResult runOne(const Workload &workload, const GpuConfig &cfg);
+
+/**
+ * Full sweep: every workload in @p names under every model x policy.
+ *
+ * @param use_cache read/write "laperm_results_<scale>_<seed>.tsv" in
+ *        the working directory so the figure benches share one sweep
+ *        (disable with LAPERM_NO_CACHE=1).
+ */
+std::vector<RunResult> runMatrix(const std::vector<std::string> &names,
+                                 Scale scale, std::uint64_t seed,
+                                 bool use_cache = true);
+
+/** Find a result in a sweep; fatal if missing. */
+const RunResult &findResult(const std::vector<RunResult> &results,
+                            const std::string &workload,
+                            DynParModel model, TbPolicy policy);
+
+/** Arithmetic mean of @p metric over a sweep subset. */
+double meanOver(const std::vector<RunResult> &results, DynParModel model,
+                TbPolicy policy, double RunResult::*metric);
+
+} // namespace laperm
+
+#endif // LAPERM_HARNESS_EXPERIMENT_HH

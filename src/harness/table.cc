@@ -1,0 +1,86 @@
+#include "harness/table.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    laperm_assert(row.size() == headers_.size(),
+                  "row has %zu cells, table has %zu columns", row.size(),
+                  headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto print_rule = [&]() {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            std::printf("+");
+            for (std::size_t i = 0; i < width[c] + 2; ++i)
+                std::printf("-");
+        }
+        std::printf("+\n");
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            std::printf("| %-*s ", static_cast<int>(width[c]),
+                        row[c].c_str());
+        std::printf("|\n");
+    };
+
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_row(row);
+    }
+    print_rule();
+}
+
+std::string
+fmtPct(double fraction, int decimals)
+{
+    return logFormat("%.*f%%", decimals, fraction * 100.0);
+}
+
+std::string
+fmtF(double value, int decimals)
+{
+    return logFormat("%.*f", decimals, value);
+}
+
+std::string
+fmtU(std::uint64_t value)
+{
+    return logFormat("%" PRIu64, value);
+}
+
+} // namespace laperm

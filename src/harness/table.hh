@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal aligned-column table printer for the bench binaries.
+ */
+
+#ifndef LAPERM_HARNESS_TABLE_HH
+#define LAPERM_HARNESS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laperm {
+
+/** Collects rows of strings and prints them as an aligned table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a separator line. */
+    void addRule();
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; ///< empty row = rule
+};
+
+/** Format helpers. */
+std::string fmtPct(double fraction, int decimals = 1);
+std::string fmtF(double value, int decimals = 2);
+std::string fmtU(std::uint64_t value);
+
+} // namespace laperm
+
+#endif // LAPERM_HARNESS_TABLE_HH

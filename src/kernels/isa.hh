@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The op-trace "ISA" kernels are expressed in. A kernel program emits a
+ * per-thread sequence of ops (compute, loads, stores, barriers, device
+ * launches); the SIMT front end groups them into warp instructions.
+ */
+
+#ifndef LAPERM_KERNELS_ISA_HH
+#define LAPERM_KERNELS_ISA_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace laperm {
+
+class KernelProgram;
+
+/** Kinds of per-thread operations. */
+enum class OpKind : std::uint8_t
+{
+    Alu,    ///< compute for N cycles
+    Load,   ///< global-memory load
+    Store,  ///< global-memory store
+    Bar,    ///< TB-wide barrier (__syncthreads)
+    Launch, ///< device-side kernel / TB-group launch
+};
+
+/** One per-thread operation. */
+struct ThreadOp
+{
+    OpKind kind;
+    std::uint32_t aluCycles = 0;  ///< Alu: busy cycles
+    Addr addr = 0;                ///< Load/Store: byte address
+    std::uint32_t launchIx = 0;   ///< Launch: index into thread launches
+};
+
+/**
+ * A device-side launch request: the child grid (CDP) or TB group (DTBL).
+ * The same request feeds both models; the launcher interprets it
+ * according to the configured DynParModel.
+ */
+struct LaunchRequest
+{
+    std::shared_ptr<const KernelProgram> program;
+    std::uint32_t numTbs = 1;
+    std::uint32_t threadsPerTb = kWarpSize;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_KERNELS_ISA_HH

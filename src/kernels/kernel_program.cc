@@ -1,0 +1,14 @@
+#include "kernels/kernel_program.hh"
+
+#include <atomic>
+
+namespace laperm {
+
+std::uint32_t
+allocateFunctionId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace laperm

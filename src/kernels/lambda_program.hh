@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A KernelProgram defined by a callable — convenient for tests,
+ * examples and custom kernels without declaring a subclass.
+ */
+
+#ifndef LAPERM_KERNELS_LAMBDA_PROGRAM_HH
+#define LAPERM_KERNELS_LAMBDA_PROGRAM_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
+
+namespace laperm {
+
+/** Kernel program wrapping a std::function thread body. */
+class LambdaProgram : public KernelProgram
+{
+  public:
+    using Body = std::function<void(ThreadCtx &)>;
+
+    /**
+     * @param name kernel name for logs.
+     * @param function_id DTBL-coalescing identity; launches sharing a
+     *        function id (and TB size) coalesce. Use allocateFunctionId()
+     *        for a fresh function.
+     */
+    LambdaProgram(std::string name, std::uint32_t function_id, Body body,
+                  std::uint32_t regs_per_thread = 32,
+                  std::uint32_t smem_per_tb = 0)
+        : name_(std::move(name)), functionId_(function_id),
+          body_(std::move(body)), regs_(regs_per_thread),
+          smem_(smem_per_tb)
+    {}
+
+    std::string name() const override { return name_; }
+    std::uint32_t functionId() const override { return functionId_; }
+    std::uint32_t regsPerThread() const override { return regs_; }
+    std::uint32_t smemPerTb() const override { return smem_; }
+
+    void emitThread(ThreadCtx &ctx) const override { body_(ctx); }
+
+  private:
+    std::string name_;
+    std::uint32_t functionId_;
+    Body body_;
+    std::uint32_t regs_;
+    std::uint32_t smem_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_KERNELS_LAMBDA_PROGRAM_HH

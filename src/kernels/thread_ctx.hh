@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The device API visible to kernel programs while emitting one thread's
+ * op trace: loads, stores, compute, barriers and device launches.
+ */
+
+#ifndef LAPERM_KERNELS_THREAD_CTX_HH
+#define LAPERM_KERNELS_THREAD_CTX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/isa.hh"
+
+namespace laperm {
+
+/**
+ * Trace-building context for a single thread. A KernelProgram's
+ * emitThread() calls these methods in program order.
+ */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(std::uint32_t tb_index, std::uint32_t thread_index,
+              std::uint32_t threads_per_tb, std::uint32_t num_tbs);
+
+    /** Index of this thread's TB within its launch (blockIdx.x). */
+    std::uint32_t tbIndex() const { return tbIndex_; }
+    /** Index of this thread within its TB (threadIdx.x). */
+    std::uint32_t threadIndex() const { return threadIndex_; }
+    /** Threads per TB (blockDim.x). */
+    std::uint32_t threadsPerTb() const { return threadsPerTb_; }
+    /** TBs in this launch (gridDim.x). */
+    std::uint32_t numTbs() const { return numTbs_; }
+    /** Flattened global thread index. */
+    std::uint32_t globalThreadIndex() const
+    {
+        return tbIndex_ * threadsPerTb_ + threadIndex_;
+    }
+
+    /** Load the line(s) covering [addr, addr+bytes). */
+    void ld(Addr addr, std::uint32_t bytes = 4);
+    /** Store to the line(s) covering [addr, addr+bytes). */
+    void st(Addr addr, std::uint32_t bytes = 4);
+    /** Compute for @p cycles cycles. */
+    void alu(std::uint32_t cycles = 4);
+    /** TB-wide barrier; every thread of the TB must emit it. */
+    void bar();
+    /** Launch a child kernel (CDP) / TB group (DTBL). */
+    void launch(LaunchRequest req);
+
+    const std::vector<ThreadOp> &ops() const { return ops_; }
+    const std::vector<LaunchRequest> &launches() const { return launches_; }
+
+  private:
+    std::uint32_t tbIndex_;
+    std::uint32_t threadIndex_;
+    std::uint32_t threadsPerTb_;
+    std::uint32_t numTbs_;
+    std::vector<ThreadOp> ops_;
+    std::vector<LaunchRequest> launches_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_KERNELS_THREAD_CTX_HH

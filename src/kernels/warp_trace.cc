@@ -1,0 +1,87 @@
+#include "kernels/warp_trace.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+std::vector<WarpOp>
+buildWarpOps(const std::vector<ThreadCtx> &threads,
+             std::uint32_t first_thread, std::uint32_t count)
+{
+    laperm_assert(count > 0 && count <= kWarpSize,
+                  "warp with %u threads", count);
+    laperm_assert(first_thread + count <= threads.size(),
+                  "warp range out of bounds");
+
+    std::vector<std::uint32_t> pc(count, 0);
+    std::vector<WarpOp> out;
+
+    auto remaining = [&](std::uint32_t lane) {
+        return pc[lane] < threads[first_thread + lane].ops().size();
+    };
+    auto cur = [&](std::uint32_t lane) -> const ThreadOp & {
+        return threads[first_thread + lane].ops()[pc[lane]];
+    };
+
+    for (;;) {
+        // Find the leader: the first lane with ops left that is not
+        // waiting at a barrier. A barrier only issues when every live
+        // lane has reached it (reconvergence), so a TB-wide barrier is
+        // counted exactly once per warp.
+        std::uint32_t leader = count;
+        std::uint32_t first_live = count;
+        for (std::uint32_t l = 0; l < count; ++l) {
+            if (!remaining(l))
+                continue;
+            if (first_live == count)
+                first_live = l;
+            if (cur(l).kind != OpKind::Bar) {
+                leader = l;
+                break;
+            }
+        }
+        if (first_live == count)
+            break;
+        if (leader == count)
+            leader = first_live; // all live lanes at the barrier
+
+        const OpKind kind = cur(leader).kind;
+        WarpOp op;
+        op.kind = kind;
+
+        for (std::uint32_t l = leader; l < count; ++l) {
+            if (!remaining(l) || cur(l).kind != kind)
+                continue;
+            const ThreadOp &top = cur(l);
+            ++op.activeLanes;
+            switch (kind) {
+              case OpKind::Alu:
+                op.aluCycles = std::max(op.aluCycles, top.aluCycles);
+                break;
+              case OpKind::Load:
+              case OpKind::Store:
+                op.lines.push_back(top.addr);
+                break;
+              case OpKind::Launch:
+                op.launches.push_back(
+                    threads[first_thread + l].launches()[top.launchIx]);
+                break;
+              case OpKind::Bar:
+                break;
+            }
+            ++pc[l];
+        }
+
+        if (kind == OpKind::Load || kind == OpKind::Store) {
+            std::sort(op.lines.begin(), op.lines.end());
+            op.lines.erase(std::unique(op.lines.begin(), op.lines.end()),
+                           op.lines.end());
+        }
+        out.push_back(std::move(op));
+    }
+    return out;
+}
+
+} // namespace laperm

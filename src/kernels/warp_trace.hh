@@ -1,0 +1,43 @@
+/**
+ * @file
+ * SIMT front end: zips per-thread op traces into warp instructions with
+ * kind-grouped lockstep (divergent op kinds serialize) and coalesces
+ * memory ops into unique 128-byte line transactions.
+ */
+
+#ifndef LAPERM_KERNELS_WARP_TRACE_HH
+#define LAPERM_KERNELS_WARP_TRACE_HH
+
+#include <vector>
+
+#include "kernels/isa.hh"
+#include "kernels/thread_ctx.hh"
+
+namespace laperm {
+
+/** One warp instruction. */
+struct WarpOp
+{
+    OpKind kind;
+    std::uint32_t activeLanes = 0; ///< threads participating
+    std::uint32_t aluCycles = 0;   ///< Alu: max over active lanes
+    std::vector<Addr> lines;       ///< Load/Store: coalesced unique lines
+    std::vector<LaunchRequest> launches; ///< Launch: one per active lane
+};
+
+/**
+ * Build the warp instruction stream for one warp from the traces of its
+ * (up to 32) threads.
+ *
+ * At each step the earliest thread with remaining ops leads; all threads
+ * whose next op has the same kind execute together (the active mask);
+ * other kinds execute in later steps — a simple serialization model of
+ * SIMT branch divergence.
+ */
+std::vector<WarpOp> buildWarpOps(const std::vector<ThreadCtx> &threads,
+                                 std::uint32_t first_thread,
+                                 std::uint32_t count);
+
+} // namespace laperm
+
+#endif // LAPERM_KERNELS_WARP_TRACE_HH

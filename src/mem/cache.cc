@@ -1,0 +1,163 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params),
+      numSets_(params.size / (params.assoc * kLineBytes))
+{
+    laperm_assert(numSets_ > 0, "cache %s too small", params_.name.c_str());
+    laperm_assert(params_.size % (params_.assoc * kLineBytes) == 0,
+                  "cache %s: size not divisible by assoc*line",
+                  params_.name.c_str());
+    ways_.resize(static_cast<std::size_t>(numSets_) * params_.assoc);
+}
+
+std::uint32_t
+Cache::setIndex(Addr line) const
+{
+    return static_cast<std::uint32_t>((line / kLineBytes) % numSets_);
+}
+
+Cache::Way *
+Cache::findWay(Addr line)
+{
+    Way *base = &ways_[static_cast<std::size_t>(setIndex(line)) *
+                       params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+CacheAccessResult
+Cache::lookupLoad(Addr line, Cycle now)
+{
+    CacheAccessResult res;
+    ++stats_.accesses;
+    if (Way *way = findWay(line)) {
+        way->lruStamp = ++lruClock_;
+        if (way->fillReady <= now) {
+            ++stats_.hits;
+            res.hit = true;
+        } else {
+            // The line is being filled by an earlier miss: merge.
+            ++stats_.misses;
+            ++stats_.mshrMerges;
+            res.mshrMerge = true;
+            res.fillReady = way->fillReady;
+        }
+        return res;
+    }
+    // Not in the tag array: check for a fill that outlived its line
+    // (victim of an intervening allocation).
+    auto it = mshr_.find(line);
+    if (it != mshr_.end()) {
+        if (it->second <= now) {
+            mshr_.erase(it);
+        } else {
+            ++stats_.misses;
+            ++stats_.mshrMerges;
+            res.mshrMerge = true;
+            res.fillReady = it->second;
+            return res;
+        }
+    }
+    ++stats_.misses;
+    return res;
+}
+
+CacheAccessResult
+Cache::lookupStore(Addr line, Cycle now)
+{
+    CacheAccessResult res;
+    if (params_.writeEvict) {
+        // Kepler-style L1: write-through, no allocate; a hitting line is
+        // evicted so later loads observe the new data from L2. Stores do
+        // not participate in the L1 hit-rate statistics.
+        if (Way *way = findWay(line)) {
+            way->valid = false;
+            ++stats_.storeEvicts;
+        }
+        return res;
+    }
+    // Write-back, write-allocate (L2).
+    ++stats_.accesses;
+    if (Way *way = findWay(line)) {
+        way->lruStamp = ++lruClock_;
+        way->dirty = true;
+        if (way->fillReady <= now) {
+            ++stats_.hits;
+            res.hit = true;
+        } else {
+            ++stats_.misses;
+            ++stats_.mshrMerges;
+            res.mshrMerge = true;
+            res.fillReady = way->fillReady;
+        }
+        return res;
+    }
+    ++stats_.misses;
+    return res;
+}
+
+bool
+Cache::allocate(Addr line, Cycle fill_ready, Cycle now, bool dirty)
+{
+    Way *base = &ways_[static_cast<std::size_t>(setIndex(line)) *
+                       params_.assoc];
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (!victim || base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    bool victim_dirty = false;
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            victim_dirty = true;
+            ++stats_.writebacks;
+        }
+        // Preserve an in-flight fill for MSHR merging after eviction.
+        if (victim->fillReady > now)
+            mshr_[victim->line] = victim->fillReady;
+    }
+    victim->line = line;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->fillReady = fill_ready;
+    victim->lruStamp = ++lruClock_;
+    return victim_dirty;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    const Way *base = &ways_[static_cast<std::size_t>(setIndex(line)) *
+                             params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].line == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    std::fill(ways_.begin(), ways_.end(), Way{});
+    mshr_.clear();
+    lruClock_ = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace laperm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Set-associative cache tag array with LRU replacement and MSHR-style
+ * merging of outstanding misses. Timing is "ready-cycle" based: the
+ * owner computes completion cycles analytically, the cache tracks tag
+ * state and pending fills.
+ */
+
+#ifndef LAPERM_MEM_CACHE_HH
+#define LAPERM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+
+namespace laperm {
+
+/** Cache geometry and behaviour parameters. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t size = 32 * 1024;
+    std::uint32_t assoc = 4;
+    /**
+     * Kepler L1 behaviour: stores do not allocate and evict a hitting
+     * line (write-evict / write-through). When false the cache is
+     * write-back write-allocate (L2 behaviour).
+     */
+    bool writeEvict = false;
+};
+
+/** Outcome of a tag lookup. */
+struct CacheAccessResult
+{
+    bool hit = false;        ///< line present and fill complete
+    bool mshrMerge = false;  ///< missed, merged into an outstanding fill
+    Cycle fillReady = 0;     ///< when the line's data is available
+    bool victimDirty = false; ///< an eviction produced a writeback
+};
+
+/**
+ * Tag array + MSHR. The cache does not know about latencies; callers
+ * pass the fill-completion cycle for misses and receive the merged
+ * ready cycle for MSHR hits.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up a load to @p line at @p now.
+     *
+     * On a miss, the caller must subsequently call allocate() with the
+     * fill-ready cycle obtained from the next level. On an MSHR merge
+     * the returned fillReady is the pending fill's completion.
+     */
+    CacheAccessResult lookupLoad(Addr line, Cycle now);
+
+    /**
+     * Handle a store to @p line at @p now.
+     *
+     * writeEvict caches invalidate a hitting line and never allocate.
+     * write-back caches mark the line dirty, allocating on miss (the
+     * caller provides fill timing via allocate()).
+     */
+    CacheAccessResult lookupStore(Addr line, Cycle now);
+
+    /**
+     * Install @p line with fill completing at @p fill_ready; evicts the
+     * LRU way. @p dirty marks the installed line dirty (store allocate).
+     * @return true if the victim was dirty (writeback needed).
+     */
+    bool allocate(Addr line, Cycle fill_ready, Cycle now, bool dirty);
+
+    /** Whether @p line is currently present (test helper). */
+    bool contains(Addr line) const;
+
+    /** Reset tags, MSHRs and statistics. */
+    void reset();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheParams &params() const { return params_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        bool valid = false;
+        bool dirty = false;
+        Cycle fillReady = 0; ///< data not usable before this cycle
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint32_t setIndex(Addr line) const;
+    Way *findWay(Addr line);
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::vector<Way> ways_; ///< numSets_ * assoc, set-major
+    std::uint64_t lruClock_ = 0;
+    /** Outstanding fills: line -> completion cycle (purged lazily). */
+    std::unordered_map<Addr, Cycle> mshr_;
+    CacheStats stats_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_MEM_CACHE_HH

@@ -1,0 +1,105 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+MemSystem::MemSystem(const GpuConfig &cfg)
+    : cfg_(cfg), l2BankFreeAt_(cfg.l2Banks, 0)
+{
+    const std::uint32_t num_l1 = cfg.numSmx / cfg.smxPerCluster;
+    for (std::uint32_t i = 0; i < num_l1; ++i) {
+        CacheParams p;
+        p.name = logFormat("l1.%u", i);
+        p.size = cfg.l1Size;
+        p.assoc = cfg.l1Assoc;
+        p.writeEvict = true;
+        l1s_.push_back(std::make_unique<Cache>(p));
+    }
+    CacheParams p2;
+    p2.name = "l2";
+    p2.size = cfg.l2Size;
+    p2.assoc = cfg.l2Assoc;
+    p2.writeEvict = false;
+    l2_ = std::make_unique<Cache>(p2);
+    dram_.emplace(cfg);
+}
+
+Cycle
+MemSystem::l2Access(Addr line, Cycle now, bool is_store)
+{
+    // Bank queueing: the request cannot be looked up before its bank is
+    // free; each access occupies the bank for a service interval.
+    Cycle &bank = l2BankFreeAt_[(line / kLineBytes) % cfg_.l2Banks];
+    Cycle arrival = std::max(now, bank);
+    bank = arrival + cfg_.l2ServiceInterval;
+
+    CacheAccessResult res = is_store ? l2_->lookupStore(line, arrival)
+                                     : l2_->lookupLoad(line, arrival);
+    if (res.hit)
+        return arrival + cfg_.l2HitLatency;
+    if (res.mshrMerge)
+        return std::max(res.fillReady, arrival + cfg_.l2HitLatency);
+
+    Cycle miss_detected = arrival + cfg_.l2HitLatency;
+    Cycle data_ready;
+    if (is_store) {
+        // Write-validate: coalesced 128B stores install the line
+        // without a DRAM fetch (GPU L2s track sector validity); the
+        // data is forwardable from the write queue immediately.
+        data_ready = arrival;
+    } else {
+        data_ready = dram_->read(line, miss_detected);
+    }
+    bool victim_dirty = l2_->allocate(line, data_ready, arrival, is_store);
+    if (victim_dirty)
+        dram_->write(line, miss_detected);
+    return is_store ? arrival + cfg_.l2ServiceInterval : data_ready;
+}
+
+Cycle
+MemSystem::load(SmxId smx, Addr line, Cycle now)
+{
+    Cache &l1 = *l1s_[l1Index(smx)];
+    CacheAccessResult res = l1.lookupLoad(line, now);
+    if (res.hit)
+        return now + cfg_.l1HitLatency;
+    if (res.mshrMerge)
+        return std::max(res.fillReady, now + cfg_.l1HitLatency);
+
+    Cycle ready = l2Access(line, now, false);
+    l1.allocate(line, ready, now, false);
+    return ready;
+}
+
+Cycle
+MemSystem::store(SmxId smx, Addr line, Cycle now)
+{
+    Cache &l1 = *l1s_[l1Index(smx)];
+    l1.lookupStore(line, now); // write-evict, write-through
+    return l2Access(line, now, true);
+}
+
+void
+MemSystem::reset()
+{
+    for (auto &l1 : l1s_)
+        l1->reset();
+    l2_->reset();
+    dram_->reset();
+    std::fill(l2BankFreeAt_.begin(), l2BankFreeAt_.end(), 0);
+}
+
+void
+MemSystem::exportStats(GpuStats &stats) const
+{
+    stats.l1.clear();
+    for (const auto &l1 : l1s_)
+        stats.l1.push_back(l1->stats());
+    stats.l2 = l2_->stats();
+    stats.dram = dram_->stats();
+}
+
+} // namespace laperm

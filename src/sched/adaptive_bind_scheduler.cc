@@ -1,0 +1,25 @@
+#include "sched/policies.hh"
+
+// Adaptive-Bind shares its implementation with SMX-Bind (the adaptive
+// flag enables stage 3 of Figure 6); see smx_bind_scheduler.cc. This
+// translation unit exists to host the factory.
+
+namespace laperm {
+
+std::unique_ptr<TbScheduler>
+TbScheduler::create(const GpuConfig &cfg, DispatchContext &ctx)
+{
+    switch (cfg.tbPolicy) {
+      case TbPolicy::RR:
+        return std::make_unique<RrScheduler>(cfg, ctx);
+      case TbPolicy::TbPri:
+        return std::make_unique<TbPriScheduler>(cfg, ctx);
+      case TbPolicy::SmxBind:
+        return std::make_unique<SmxBindScheduler>(cfg, ctx, false);
+      case TbPolicy::AdaptiveBind:
+        return std::make_unique<SmxBindScheduler>(cfg, ctx, true);
+    }
+    return nullptr;
+}
+
+} // namespace laperm

@@ -1,0 +1,3 @@
+#include "sched/dispatch_unit.hh"
+
+// DispatchUnit is a plain record; behaviour lives in the schedulers.

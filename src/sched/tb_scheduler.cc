@@ -1,0 +1,7 @@
+#include "sched/tb_scheduler.hh"
+
+// The factory lives in adaptive_bind_scheduler.cc next to the policy
+// implementations; this file anchors the vtable.
+
+namespace laperm {
+} // namespace laperm

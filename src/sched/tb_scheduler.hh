@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The TB-scheduler policy interface: the pluggable heart of the paper.
+ * Policies receive dispatch units as they become visible and are asked
+ * to dispatch at most one TB per cycle, mirroring the SMX scheduler.
+ */
+
+#ifndef LAPERM_SCHED_TB_SCHEDULER_HH
+#define LAPERM_SCHED_TB_SCHEDULER_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "sched/dispatch_unit.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace laperm {
+
+/** What a TB scheduler may do to the device. */
+class DispatchContext
+{
+  public:
+    virtual ~DispatchContext() = default;
+
+    virtual std::uint32_t numSmx() const = 0;
+
+    /** Whether @p unit's next TB fits on @p smx right now. */
+    virtual bool fits(SmxId smx, const DispatchUnit &unit) const = 0;
+
+    /** Pop @p unit's next TB and dispatch it to @p smx. */
+    virtual void dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now) = 0;
+
+    virtual GpuStats &mutableStats() = 0;
+};
+
+/**
+ * Base class for the four policies (RR, TB-Pri, SMX-Bind,
+ * Adaptive-Bind).
+ */
+class TbScheduler
+{
+  public:
+    TbScheduler(const GpuConfig &cfg, DispatchContext &ctx)
+        : cfg_(cfg), ctx_(ctx)
+    {}
+    virtual ~TbScheduler() = default;
+
+    /** A dispatch unit became visible (admitted / coalesced / ready). */
+    virtual void enqueue(DispatchUnit *unit, Cycle now) = 0;
+
+    /** Attempt one TB dispatch. @return true if a TB was dispatched. */
+    virtual bool dispatchOne(Cycle now) = 0;
+
+    /**
+     * Earliest cycle at which a currently blocked unit becomes
+     * dispatchable due to scheduler-internal delays (overflow fetches);
+     * kNoCycle if nothing is internally delayed.
+     */
+    virtual Cycle nextReadyAt(Cycle now) const = 0;
+
+    /** Factory selecting the policy from @p cfg. */
+    static std::unique_ptr<TbScheduler> create(const GpuConfig &cfg,
+                                               DispatchContext &ctx);
+
+  protected:
+    const GpuConfig &cfg_;
+    DispatchContext &ctx_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_SCHED_TB_SCHEDULER_HH

@@ -1,0 +1,80 @@
+#include "sim/config.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+
+const char *
+toString(DynParModel model)
+{
+    switch (model) {
+      case DynParModel::CDP: return "CDP";
+      case DynParModel::DTBL: return "DTBL";
+    }
+    return "?";
+}
+
+const char *
+toString(TbPolicy policy)
+{
+    switch (policy) {
+      case TbPolicy::RR: return "RR";
+      case TbPolicy::TbPri: return "TB-Pri";
+      case TbPolicy::SmxBind: return "SMX-Bind";
+      case TbPolicy::AdaptiveBind: return "Adaptive-Bind";
+    }
+    return "?";
+}
+
+const char *
+toString(WarpPolicy policy)
+{
+    switch (policy) {
+      case WarpPolicy::GTO: return "GTO";
+      case WarpPolicy::LRR: return "LRR";
+      case WarpPolicy::TbAware: return "TB-aware";
+    }
+    return "?";
+}
+
+std::uint32_t
+GpuConfig::effectiveOnchipEntries() const
+{
+    // For CDP the number of on-chip priority-queue entries per SMX is
+    // limited to the KDU entry count (Section IV-E).
+    if (dynParModel == DynParModel::CDP)
+        return std::min(onchipQueueEntries, kduEntries);
+    return onchipQueueEntries;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSmx == 0)
+        laperm_fatal("numSmx must be > 0");
+    if (maxThreadsPerSmx % kWarpSize != 0)
+        laperm_fatal("maxThreadsPerSmx must be a multiple of the warp size");
+    if (l1Size % (l1Assoc * kLineBytes) != 0)
+        laperm_fatal("L1 size %u not divisible by assoc*line", l1Size);
+    if (l2Size % (l2Assoc * kLineBytes) != 0)
+        laperm_fatal("L2 size %u not divisible by assoc*line", l2Size);
+    if (kduEntries == 0)
+        laperm_fatal("kduEntries must be > 0");
+    if (maxPriorityLevels == 0)
+        laperm_fatal("maxPriorityLevels must be >= 1");
+    if (smxPerCluster == 0 || numSmx % smxPerCluster != 0)
+        laperm_fatal("numSmx must be divisible by smxPerCluster");
+}
+
+std::string
+GpuConfig::summary() const
+{
+    return logFormat(
+        "%u SMX, %u thr/SMX, %u TB/SMX, L1 %uKB, L2 %uKB, KDU %u, "
+        "%s/%s, L=%u",
+        numSmx, maxThreadsPerSmx, maxTbsPerSmx, l1Size / 1024,
+        l2Size / 1024, kduEntries, toString(dynParModel),
+        toString(tbPolicy), maxPriorityLevels);
+}
+
+} // namespace laperm

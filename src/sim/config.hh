@@ -1,0 +1,154 @@
+/**
+ * @file
+ * GPU configuration modeled after the paper's Table I (NVIDIA K20c,
+ * GK110, CUDA compute capability 3.5) plus the dynamic-parallelism and
+ * LaPerm parameters from Sections II, IV and V.
+ */
+
+#ifndef LAPERM_SIM_CONFIG_HH
+#define LAPERM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace laperm {
+
+/** Which dynamic-parallelism launch path the device models. */
+enum class DynParModel
+{
+    CDP,  ///< CUDA Dynamic Parallelism: device kernels via KMU -> KDU.
+    DTBL, ///< Dynamic Thread Block Launch: TB groups coalesced in KDU.
+};
+
+/** Thread-block scheduling policy (the subject of the paper). */
+enum class TbPolicy
+{
+    RR,           ///< Baseline round-robin (Section III-B).
+    TbPri,        ///< TB Prioritizing (Section IV-A).
+    SmxBind,      ///< Prioritized SMX Binding (Section IV-B).
+    AdaptiveBind, ///< Adaptive Prioritized SMX Binding (Section IV-C).
+};
+
+/** Warp scheduling discipline inside each SMX. */
+enum class WarpPolicy
+{
+    GTO,     ///< Greedy-then-oldest (Table I default, [7]).
+    LRR,     ///< Loose round-robin, for ablation.
+    /**
+     * TB-aware GTO: among ready warps, prefer those whose TB shares
+     * the last-issued warp's direct parent (family grouping in the
+     * spirit of [10]); the paper's Section IV-F notes LaPerm composes
+     * with such warp schedulers.
+     */
+    TbAware,
+};
+
+/** Stage-3 stealing discipline for Adaptive-Bind (ablation knob). */
+enum class BackupPolicy
+{
+    Recorded, ///< Paper's scheme: record and drain one backup SMX.
+    Random,   ///< Steal from a random non-empty SMX each time.
+};
+
+const char *toString(DynParModel model);
+const char *toString(TbPolicy policy);
+const char *toString(WarpPolicy policy);
+
+/**
+ * Full device configuration. Defaults reproduce Table I.
+ */
+struct GpuConfig
+{
+    // --- Compute resources (Table I) ---
+    std::uint32_t numSmx = 13;
+    std::uint32_t maxThreadsPerSmx = 2048;
+    std::uint32_t maxTbsPerSmx = 16;
+    std::uint32_t regsPerSmx = 65536;
+    std::uint32_t smemPerSmx = 32 * 1024;
+    std::uint32_t warpSchedulersPerSmx = 4;
+    WarpPolicy warpPolicy = WarpPolicy::GTO;
+
+    /** SMXs sharing one L1 (Section IV-B cluster note); 1 = per-SMX L1. */
+    std::uint32_t smxPerCluster = 1;
+
+    // --- Memory hierarchy (Table I) ---
+    std::uint32_t l1Size = 32 * 1024;
+    std::uint32_t l1Assoc = 4;
+    Cycle l1HitLatency = 28;
+
+    std::uint32_t l2Size = 1536 * 1024;
+    std::uint32_t l2Assoc = 16;
+    std::uint32_t l2Banks = 6;
+    Cycle l2HitLatency = 120;      ///< total load-to-use on L1 miss/L2 hit
+    Cycle l2ServiceInterval = 2;   ///< per-bank occupancy per access
+
+    std::uint32_t dramChannels = 5; ///< K20c: 5 x 64-bit GDDR5 controllers
+    std::uint32_t dramBanksPerChannel = 8;
+    Cycle dramLatency = 230;        ///< additional cycles beyond L2 on miss
+    /**
+     * Per-bank occupancy per 128B access. 40 banks / 18 cycles ~= 2.2
+     * lines/cycle ~= 208 GB/s at the 706 MHz core clock (K20c GDDR5).
+     */
+    Cycle dramServiceInterval = 18;
+
+    // --- Kernel management (Section II-B) ---
+    std::uint32_t kduEntries = 32; ///< max concurrent kernels
+
+    // --- Execution timing ---
+    Cycle barLatency = 4;      ///< cost of releasing a TB barrier
+    Cycle launchIssueCycles = 40; ///< SMX-side cost of issuing a launch
+    /**
+     * Consecutive independent load instructions a warp issues before
+     * stalling (compiler-scheduled memory-level parallelism).
+     */
+    std::uint32_t warpMlpWindow = 4;
+
+    // --- Dynamic parallelism (Sections II-C, IV-D, V-A) ---
+    DynParModel dynParModel = DynParModel::DTBL;
+    /** Device-kernel launch latency for CDP (methodology of [15]/[16]). */
+    Cycle cdpLaunchLatency = 5000;
+    /** TB-group launch latency for DTBL (modeled in-simulator, [16]). */
+    Cycle dtblLaunchLatency = 350;
+
+    // --- TB scheduling / LaPerm (Section IV) ---
+    TbPolicy tbPolicy = TbPolicy::RR;
+    /** Maximum nested-launch priority level L (clamped beyond this). */
+    std::uint32_t maxPriorityLevels = 4;
+    /** On-chip SRAM priority-queue entries per SMX (3KB / 24B = 128). */
+    std::uint32_t onchipQueueEntries = 128;
+    /** Shared level-0 queue entries (768B / 24B = 32). */
+    std::uint32_t sharedQueueEntries = 32;
+    /** Extra latency to fetch an overflowed queue entry from DRAM. */
+    Cycle overflowFetchLatency = 350;
+    BackupPolicy backupPolicy = BackupPolicy::Recorded;
+
+    // --- Contention-based TB throttling (Section IV-F, after [12]) ---
+    /** Dynamically reduce resident TBs when the L1 thrashes. */
+    bool tbThrottleEnabled = false;
+    /** L1 accesses between throttle evaluations. */
+    std::uint64_t throttleWindow = 4096;
+    /** Miss rate above which residency shrinks by one TB. */
+    double throttleHighMiss = 0.90;
+    /** Miss rate below which residency grows back by one TB. */
+    double throttleLowMiss = 0.70;
+    /** Floor on the throttled TB residency. */
+    std::uint32_t throttleMinTbs = 4;
+
+    /** Deterministic seed forwarded to workload generators. */
+    std::uint64_t seed = 1;
+
+    /** Effective on-chip queue capacity per SMX for the active model. */
+    std::uint32_t effectiveOnchipEntries() const;
+
+    /** Sanity-check the configuration; fatal() on user error. */
+    void validate() const;
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_SIM_CONFIG_HH

@@ -1,0 +1,63 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+namespace laperm {
+
+void
+CacheStats::add(const CacheStats &other)
+{
+    accesses += other.accesses;
+    hits += other.hits;
+    misses += other.misses;
+    mshrMerges += other.mshrMerges;
+    evictions += other.evictions;
+    writebacks += other.writebacks;
+    storeEvicts += other.storeEvicts;
+}
+
+double
+GpuStats::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    std::uint64_t insts = 0;
+    for (const auto &s : smx)
+        insts += s.threadInstructions;
+    return static_cast<double>(insts) / cycles;
+}
+
+CacheStats
+GpuStats::l1Total() const
+{
+    CacheStats total;
+    for (const auto &c : l1)
+        total.add(c);
+    return total;
+}
+
+double
+GpuStats::avgSmxUtilization() const
+{
+    if (smx.empty() || cycles == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : smx)
+        sum += static_cast<double>(s.busyCycles) / cycles;
+    return sum / smx.size();
+}
+
+double
+GpuStats::smxImbalance() const
+{
+    if (smx.empty())
+        return 0.0;
+    std::uint64_t lo = smx[0].busyCycles, hi = smx[0].busyCycles;
+    for (const auto &s : smx) {
+        lo = std::min(lo, s.busyCycles);
+        hi = std::max(hi, s.busyCycles);
+    }
+    return hi ? static_cast<double>(hi - lo) / hi : 0.0;
+}
+
+} // namespace laperm

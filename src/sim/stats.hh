@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Statistics records collected during a simulation run. Plain structs of
+ * counters; derived metrics (hit rates, IPC) are computed on demand.
+ */
+
+#ifndef LAPERM_SIM_STATS_HH
+#define LAPERM_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace laperm {
+
+/** Counters for one cache instance. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       ///< includes MSHR merges
+    std::uint64_t mshrMerges = 0;   ///< misses merged into a pending fill
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;   ///< dirty evictions (L2 only)
+    std::uint64_t storeEvicts = 0;  ///< write-evict store hits (L1 only)
+
+    double hitRate() const
+    {
+        return accesses ? static_cast<double>(hits) / accesses : 0.0;
+    }
+
+    void add(const CacheStats &other);
+};
+
+/** Counters for the DRAM model. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t totalQueueCycles = 0; ///< sum of bank-queue wait
+
+    double avgQueueCycles() const
+    {
+        std::uint64_t n = reads + writes;
+        return n ? static_cast<double>(totalQueueCycles) / n : 0.0;
+    }
+};
+
+/** Per-SMX execution counters. */
+struct SmxStats
+{
+    std::uint64_t warpInstructions = 0; ///< issued warp ops
+    std::uint64_t threadInstructions = 0; ///< sum of active lanes per op
+    std::uint64_t busyCycles = 0;  ///< cycles with >= 1 issue
+    std::uint64_t issueSlots = 0;  ///< total issue-slot grants
+    std::uint64_t tbsExecuted = 0;
+    std::uint64_t dynamicTbsExecuted = 0;
+    std::uint64_t barrierStalls = 0;
+};
+
+/** Device-wide counters. */
+struct GpuStats
+{
+    Cycle cycles = 0;
+    std::uint64_t kernelsLaunched = 0;     ///< host + device
+    std::uint64_t deviceLaunches = 0;      ///< CDP kernels / DTBL groups
+    std::uint64_t dynamicTbs = 0;
+    std::uint64_t kduFullStalls = 0;       ///< launches delayed by full KDU
+    std::uint64_t dtblCoalesced = 0;       ///< groups merged onto a kernel
+    std::uint64_t queueOverflows = 0;      ///< priority-queue spills to DRAM
+    std::uint64_t backupAdoptions = 0;     ///< Adaptive-Bind stage-3 events
+    std::uint64_t boundDispatches = 0;     ///< TBs dispatched to bound SMX
+    std::uint64_t unboundDispatches = 0;   ///< dynamic TBs placed elsewhere
+
+    std::vector<SmxStats> smx;
+    std::vector<CacheStats> l1;  ///< one per SMX (or cluster)
+    CacheStats l2;
+    DramStats dram;
+
+    /** Thread-instructions per cycle over the whole run. */
+    double ipc() const;
+
+    /** Aggregate L1 counters over all SMXs. */
+    CacheStats l1Total() const;
+
+    /** Mean of per-SMX busy-cycle fractions. */
+    double avgSmxUtilization() const;
+
+    /**
+     * Imbalance metric: (max - min) busy cycles across SMXs divided by
+     * max busy cycles. 0 = perfectly balanced.
+     */
+    double smxImbalance() const;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_SIM_STATS_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Command-line simulator driver: run any Table II workload (or all of
+ * them) under a chosen scheduler / dynamic-parallelism model and print
+ * the full statistics record.
+ *
+ * Usage:
+ *   laperm_sim [options]
+ *     --workload NAME   bfs-citation, join-gaussian, ... or "all"
+ *     --policy P        rr | tbpri | smxbind | adaptive (default rr)
+ *     --model M         cdp | dtbl (default dtbl)
+ *     --scale S         tiny | small | full (default small)
+ *     --seed N          input-generator seed (default 1)
+ *     --smx N           override SMX count
+ *     --l1-kb N         override L1 size
+ *     --l2-kb N         override L2 size
+ *     --levels N        max priority levels L
+ *     --cdp-latency N   CDP launch latency in cycles
+ *     --dtbl-latency N  DTBL launch latency in cycles
+ *     --warp-sched W    gto | lrr
+ *     --csv             one CSV row per run instead of the report
+ *     --list            list workload names and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "gpu/trace.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "bfs-citation";
+    TbPolicy policy = TbPolicy::RR;
+    DynParModel model = DynParModel::DTBL;
+    Scale scale = Scale::Small;
+    std::uint64_t seed = 1;
+    GpuConfig cfg;
+    bool csv = false;
+    std::string tracePath; ///< --trace FILE: dispatch-event CSV
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME|all] [--policy "
+                 "rr|tbpri|smxbind|adaptive] [--model cdp|dtbl] "
+                 "[--scale tiny|small|full] [--seed N] [--smx N] "
+                 "[--l1-kb N] [--l2-kb N] [--levels N] "
+                 "[--cdp-latency N] [--dtbl-latency N] "
+                 "[--warp-sched gto|lrr] [--csv] [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+TbPolicy
+parsePolicy(const std::string &s)
+{
+    if (s == "rr")
+        return TbPolicy::RR;
+    if (s == "tbpri")
+        return TbPolicy::TbPri;
+    if (s == "smxbind")
+        return TbPolicy::SmxBind;
+    if (s == "adaptive" || s == "laperm")
+        return TbPolicy::AdaptiveBind;
+    laperm_fatal("unknown policy '%s'", s.c_str());
+}
+
+void
+report(const Options &opt, const Workload &w, const GpuStats &s)
+{
+    if (opt.csv) {
+        std::printf("%s,%s,%s,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,"
+                    "%llu,%llu\n",
+                    w.fullName().c_str(), toString(opt.model),
+                    toString(opt.policy),
+                    static_cast<unsigned long long>(s.cycles), s.ipc(),
+                    s.l1Total().hitRate(), s.l2.hitRate(),
+                    s.avgSmxUtilization(), s.smxImbalance(),
+                    static_cast<unsigned long long>(s.deviceLaunches),
+                    static_cast<unsigned long long>(s.dynamicTbs),
+                    static_cast<unsigned long long>(s.boundDispatches),
+                    static_cast<unsigned long long>(s.queueOverflows));
+        return;
+    }
+    std::printf("=== %s  (%s, %s, scale %s, seed %llu)\n",
+                w.fullName().c_str(), toString(opt.model),
+                toString(opt.policy), toString(opt.scale),
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("  cycles            %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("  IPC               %.3f\n", s.ipc());
+    std::printf("  L1 hit rate       %.2f%%  (%llu accesses)\n",
+                100.0 * s.l1Total().hitRate(),
+                static_cast<unsigned long long>(s.l1Total().accesses));
+    std::printf("  L2 hit rate       %.2f%%  (%llu accesses)\n",
+                100.0 * s.l2.hitRate(),
+                static_cast<unsigned long long>(s.l2.accesses));
+    std::printf("  DRAM reads/writes %llu / %llu (avg queue %.1f cyc)\n",
+                static_cast<unsigned long long>(s.dram.reads),
+                static_cast<unsigned long long>(s.dram.writes),
+                s.dram.avgQueueCycles());
+    std::printf("  SMX utilization   %.2f%% (imbalance %.2f%%)\n",
+                100.0 * s.avgSmxUtilization(),
+                100.0 * s.smxImbalance());
+    std::printf("  kernels launched  %llu (device launches %llu, "
+                "coalesced %llu)\n",
+                static_cast<unsigned long long>(s.kernelsLaunched),
+                static_cast<unsigned long long>(s.deviceLaunches),
+                static_cast<unsigned long long>(s.dtblCoalesced));
+    std::printf("  dynamic TBs       %llu (bound %llu, stolen %llu)\n",
+                static_cast<unsigned long long>(s.dynamicTbs),
+                static_cast<unsigned long long>(s.boundDispatches),
+                static_cast<unsigned long long>(s.unboundDispatches));
+    std::printf("  queue overflows   %llu, KDU-full stalls %llu\n",
+                static_cast<unsigned long long>(s.queueOverflows),
+                static_cast<unsigned long long>(s.kduFullStalls));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Options opt;
+    opt.cfg = paperConfig();
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--workload")) {
+            opt.workload = next_arg(i);
+        } else if (!std::strcmp(a, "--policy")) {
+            opt.policy = parsePolicy(next_arg(i));
+        } else if (!std::strcmp(a, "--model")) {
+            std::string m = next_arg(i);
+            if (m == "cdp")
+                opt.model = DynParModel::CDP;
+            else if (m == "dtbl")
+                opt.model = DynParModel::DTBL;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(a, "--scale")) {
+            opt.scale = scaleFromString(next_arg(i));
+        } else if (!std::strcmp(a, "--seed")) {
+            opt.seed = std::strtoull(next_arg(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--smx")) {
+            opt.cfg.numSmx = std::atoi(next_arg(i));
+        } else if (!std::strcmp(a, "--l1-kb")) {
+            opt.cfg.l1Size = std::atoi(next_arg(i)) * 1024;
+        } else if (!std::strcmp(a, "--l2-kb")) {
+            opt.cfg.l2Size = std::atoi(next_arg(i)) * 1024;
+        } else if (!std::strcmp(a, "--levels")) {
+            opt.cfg.maxPriorityLevels = std::atoi(next_arg(i));
+        } else if (!std::strcmp(a, "--cdp-latency")) {
+            opt.cfg.cdpLaunchLatency =
+                std::strtoull(next_arg(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--dtbl-latency")) {
+            opt.cfg.dtblLaunchLatency =
+                std::strtoull(next_arg(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--warp-sched")) {
+            std::string w = next_arg(i);
+            if (w == "gto")
+                opt.cfg.warpPolicy = WarpPolicy::GTO;
+            else if (w == "lrr")
+                opt.cfg.warpPolicy = WarpPolicy::LRR;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(a, "--trace")) {
+            opt.tracePath = next_arg(i);
+        } else if (!std::strcmp(a, "--csv")) {
+            opt.csv = true;
+        } else if (!std::strcmp(a, "--list")) {
+            for (const auto &name : workloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    opt.cfg.dynParModel = opt.model;
+    opt.cfg.tbPolicy = opt.policy;
+    opt.cfg.seed = opt.seed;
+    opt.cfg.validate();
+
+    std::vector<std::string> names;
+    if (opt.workload == "all")
+        names = workloadNames();
+    else
+        names.push_back(opt.workload);
+
+    if (opt.csv) {
+        std::printf("workload,model,policy,cycles,ipc,l1,l2,util,"
+                    "imbalance,launches,dynamicTbs,bound,overflows\n");
+    }
+    for (const auto &name : names) {
+        auto w = createWorkload(name);
+        w->setup(opt.scale, opt.seed);
+        Gpu gpu(opt.cfg);
+        std::unique_ptr<DispatchTrace> trace;
+        if (!opt.tracePath.empty())
+            trace = std::make_unique<DispatchTrace>(gpu);
+        gpu.runWaves(w->waves());
+        report(opt, *w, gpu.stats());
+        if (trace) {
+            std::string path = names.size() == 1
+                                   ? opt.tracePath
+                                   : name + "." + opt.tracePath;
+            if (!trace->writeCsv(path))
+                laperm_warn("could not write trace '%s'", path.c_str());
+            else
+                std::fprintf(stderr, "dispatch trace: %s (%zu events)\n",
+                             path.c_str(), trace->events().size());
+        }
+    }
+    return 0;
+}

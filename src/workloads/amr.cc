@@ -1,0 +1,270 @@
+#include "workloads/amr.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
+
+namespace laperm {
+
+namespace {
+
+/** Subcells per refined patch edge (patch = kRefine^2 subcells). */
+constexpr std::uint32_t kRefine = 16;
+constexpr std::uint32_t kPatchThreads = 128;
+constexpr std::uint32_t kPatchTbs =
+    (kRefine * kRefine + kPatchThreads - 1) / kPatchThreads;
+
+struct AmrData
+{
+    std::uint32_t w = 0, h = 0;
+    std::vector<float> field;
+    std::vector<std::uint32_t> patch1; ///< cell -> L1 patch id or ~0
+    std::vector<std::uint32_t> patch1Cell; ///< L1 patch id -> cell
+    std::vector<std::uint32_t> patch2; ///< L1 patch -> L2 patch or ~0
+    std::uint32_t numPatch2 = 0;
+
+    Addr fieldA = 0, errorA = 0;
+    Addr params1A = 0, refined1A = 0;
+    Addr params2A = 0, refined2A = 0;
+
+    std::uint32_t flagFuncId = 0;
+    std::uint32_t refine1FuncId = 0;
+    std::uint32_t refine2FuncId = 0;
+
+    Addr cellAddr(std::uint32_t idx) const { return fieldA + 4ull * idx; }
+    Addr errAddr(std::uint32_t idx) const { return errorA + 4ull * idx; }
+    Addr refined1Addr(std::uint32_t p, std::uint32_t sub) const
+    {
+        return refined1A + 4ull * (p * kRefine * kRefine + sub);
+    }
+    Addr refined2Addr(std::uint32_t p, std::uint32_t sub) const
+    {
+        return refined2A + 4ull * (p * kRefine * kRefine + sub);
+    }
+};
+
+/** Level-2 refinement of one L1 patch: reads what its parent wrote. */
+class AmrRefine2Program : public KernelProgram
+{
+  public:
+    AmrRefine2Program(std::shared_ptr<const AmrData> d, std::uint32_t p1,
+                      std::uint32_t p2)
+        : d_(std::move(d)), p1_(p1), p2_(p2)
+    {}
+
+    std::string name() const override { return "amr_refine2"; }
+    std::uint32_t functionId() const override
+    {
+        return d_->refine2FuncId;
+    }
+    std::uint32_t regsPerThread() const override { return 30; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const AmrData &d = *d_;
+        std::uint32_t sub = ctx.globalThreadIndex();
+        if (sub >= kRefine * kRefine)
+            return;
+        ctx.ld(d.params2A + 16ull * p2_, 16);
+        // Read the L1 patch data the direct parent produced.
+        ctx.ld(d.refined1Addr(p1_, sub), 4);
+        ctx.ld(d.refined1Addr(p1_, (sub + 1) % (kRefine * kRefine)), 4);
+        ctx.alu(12);
+        ctx.st(d.refined2Addr(p2_, sub), 4);
+    }
+
+  private:
+    std::shared_ptr<const AmrData> d_;
+    std::uint32_t p1_, p2_;
+};
+
+/** Level-1 refinement of one coarse cell's neighborhood. */
+class AmrRefine1Program : public KernelProgram
+{
+  public:
+    AmrRefine1Program(std::shared_ptr<const AmrData> d, std::uint32_t cell,
+                      std::uint32_t p1)
+        : d_(std::move(d)), cell_(cell), p1_(p1)
+    {}
+
+    std::string name() const override { return "amr_refine1"; }
+    std::uint32_t functionId() const override
+    {
+        return d_->refine1FuncId;
+    }
+    std::uint32_t regsPerThread() const override { return 30; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const AmrData &d = *d_;
+        std::uint32_t sub = ctx.globalThreadIndex();
+        if (sub >= kRefine * kRefine)
+            return;
+        ctx.ld(d.params1A + 16ull * p1_, 16);
+        // Interpolate from the parent's coarse stencil block: the same
+        // field lines the flagging kernel just read (parent-child
+        // temporal locality).
+        std::uint32_t x = cell_ % d.w, y = cell_ / d.w;
+        std::uint32_t sx = sub % kRefine, sy = sub / kRefine;
+        std::uint32_t cx = std::min(d.w - 1, x + (sx > kRefine / 2));
+        std::uint32_t cy = std::min(d.h - 1, y + (sy > kRefine / 2));
+        ctx.ld(d.cellAddr(cy * d.w + cx), 4);
+        ctx.ld(d.cellAddr(y * d.w + x), 4);
+        ctx.alu(10);
+        ctx.st(d.refined1Addr(p1_, sub), 4);
+
+        // Nested refinement: thread 0 flags and launches level 2.
+        if (sub == 0 && d.patch2[p1_] != 0xFFFFFFFFu) {
+            ctx.alu(8);
+            ctx.st(d.params2A + 16ull * d.patch2[p1_], 16);
+            ctx.launch({std::make_shared<AmrRefine2Program>(
+                            d_, p1_, d.patch2[p1_]),
+                        kPatchTbs, kPatchThreads});
+        }
+    }
+
+  private:
+    std::shared_ptr<const AmrData> d_;
+    std::uint32_t cell_, p1_;
+};
+
+/** Error flagging over the coarse grid; hot cells spawn refinements. */
+class AmrFlagProgram : public KernelProgram
+{
+  public:
+    explicit AmrFlagProgram(std::shared_ptr<const AmrData> d)
+        : d_(std::move(d))
+    {}
+
+    std::string name() const override { return "amr_flag"; }
+    std::uint32_t functionId() const override { return d_->flagFuncId; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const AmrData &d = *d_;
+        std::uint32_t idx = ctx.globalThreadIndex();
+        if (idx >= d.w * d.h)
+            return;
+        std::uint32_t x = idx % d.w, y = idx / d.w;
+        // 5-point stencil over the coarse field.
+        ctx.ld(d.cellAddr(idx), 4);
+        if (x > 0)
+            ctx.ld(d.cellAddr(idx - 1), 4);
+        if (x + 1 < d.w)
+            ctx.ld(d.cellAddr(idx + 1), 4);
+        if (y > 0)
+            ctx.ld(d.cellAddr(idx - d.w), 4);
+        if (y + 1 < d.h)
+            ctx.ld(d.cellAddr(idx + d.w), 4);
+        ctx.alu(8);
+        ctx.st(d.errAddr(idx), 4);
+
+        std::uint32_t p1 = d.patch1[idx];
+        if (p1 != 0xFFFFFFFFu) {
+            ctx.st(d.params1A + 16ull * p1, 16);
+            ctx.launch({std::make_shared<AmrRefine1Program>(d_, idx, p1),
+                        kPatchTbs, kPatchThreads});
+        }
+    }
+
+  private:
+    std::shared_ptr<const AmrData> d_;
+};
+
+} // namespace
+
+void
+AmrWorkload::setup(Scale scale, std::uint64_t seed)
+{
+    scale_ = scale;
+    seed_ = seed;
+
+    auto d = std::make_shared<AmrData>();
+    switch (scale) {
+      case Scale::Tiny:
+        d->w = d->h = 48;
+        break;
+      case Scale::Small:
+        d->w = d->h = 176;
+        break;
+      default:
+        d->w = d->h = 352;
+        break;
+    }
+
+    // Combustion-like field: a smooth background with Gaussian flame
+    // kernels whose steep flanks trigger refinement.
+    Rng rng(seed);
+    const std::uint32_t cells = d->w * d->h;
+    d->field.assign(cells, 0.0f);
+    const int hotspots = 6 + static_cast<int>(rng.nextBounded(4));
+    std::vector<double> hx(hotspots), hy(hotspots), hs(hotspots);
+    for (int i = 0; i < hotspots; ++i) {
+        hx[i] = rng.nextDouble() * d->w;
+        hy[i] = rng.nextDouble() * d->h;
+        hs[i] = d->w * (0.03 + 0.05 * rng.nextDouble());
+    }
+    for (std::uint32_t y = 0; y < d->h; ++y) {
+        for (std::uint32_t x = 0; x < d->w; ++x) {
+            double v = 0.0;
+            for (int i = 0; i < hotspots; ++i) {
+                double dx = x - hx[i], dy = y - hy[i];
+                v += std::exp(-(dx * dx + dy * dy) / (2 * hs[i] * hs[i]));
+            }
+            d->field[y * d->w + x] = static_cast<float>(v);
+        }
+    }
+
+    // Flag cells with a steep gradient (the flame front).
+    d->patch1.assign(cells, 0xFFFFFFFFu);
+    for (std::uint32_t y = 1; y + 1 < d->h; ++y) {
+        for (std::uint32_t x = 1; x + 1 < d->w; ++x) {
+            std::uint32_t idx = y * d->w + x;
+            float gx = d->field[idx + 1] - d->field[idx - 1];
+            float gy = d->field[idx + d->w] - d->field[idx - d->w];
+            if (gx * gx + gy * gy > 0.02f) {
+                d->patch1[idx] =
+                    static_cast<std::uint32_t>(d->patch1Cell.size());
+                d->patch1Cell.push_back(idx);
+            }
+        }
+    }
+    // The steepest third of the L1 patches refines again.
+    std::uint32_t num_p1 =
+        static_cast<std::uint32_t>(d->patch1Cell.size());
+    d->patch2.assign(num_p1, 0xFFFFFFFFu);
+    for (std::uint32_t p = 0; p < num_p1; ++p) {
+        if (rng.nextDouble() < 0.33)
+            d->patch2[p] = d->numPatch2++;
+    }
+
+    d->fieldA = mem_.allocArray(cells, 4, "field");
+    d->errorA = mem_.allocArray(cells, 4, "error");
+    d->params1A = mem_.allocArray(std::max(1u, num_p1), 16, "params1");
+    d->refined1A = mem_.allocArray(
+        std::max<std::size_t>(1, std::size_t(num_p1) * kRefine * kRefine),
+        4, "refined1");
+    d->params2A =
+        mem_.allocArray(std::max(1u, d->numPatch2), 16, "params2");
+    d->refined2A = mem_.allocArray(
+        std::max<std::size_t>(1, std::size_t(d->numPatch2) * kRefine *
+                                     kRefine),
+        4, "refined2");
+    d->flagFuncId = allocateFunctionId();
+    d->refine1FuncId = allocateFunctionId();
+    d->refine2FuncId = allocateFunctionId();
+
+    std::uint32_t tbs = (cells + 127) / 128;
+    waves_.clear();
+    waves_.push_back({std::make_shared<AmrFlagProgram>(d), tbs, 128});
+}
+
+} // namespace laperm

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Adaptive Mesh Refinement workload (Table II: combustion simulation).
+ */
+
+#ifndef LAPERM_WORKLOADS_AMR_HH
+#define LAPERM_WORKLOADS_AMR_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/**
+ * Two-level AMR on a 2D field with Gaussian hot spots [27]: cells whose
+ * error exceeds a threshold spawn a child TB group refining a subgrid
+ * over the parent's cell block; refined patches may refine again
+ * (nested launches). Each child writes its own patch, giving the
+ * near-zero child-sibling sharing the paper reports for amr.
+ */
+class AmrWorkload : public WorkloadBase
+{
+  public:
+    std::string app() const override { return "amr"; }
+    std::string input() const override { return "combustion"; }
+    void setup(Scale scale, std::uint64_t seed) override;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_AMR_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * BFS workload (Table II: citation / graph500 / cage inputs).
+ */
+
+#ifndef LAPERM_WORKLOADS_BFS_HH
+#define LAPERM_WORKLOADS_BFS_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/** Level-synchronous BFS with per-heavy-vertex child launches. */
+class BfsWorkload : public WorkloadBase
+{
+  public:
+    explicit BfsWorkload(std::string input) : input_(std::move(input)) {}
+
+    std::string app() const override;
+    std::string input() const override;
+    void setup(Scale scale, std::uint64_t seed) override;
+
+  private:
+    std::string input_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_BFS_HH

@@ -1,0 +1,260 @@
+#include "workloads/bht.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
+
+namespace laperm {
+
+namespace {
+
+constexpr std::uint32_t kBodyThreads = 128;
+constexpr std::uint32_t kCellSpawn = 24;   ///< bodies above this -> child
+constexpr std::uint32_t kNodeBytes = 32;   ///< tree node record
+
+struct BhtData
+{
+    std::uint32_t numBodies = 0;
+    std::uint32_t gridLog2 = 0; ///< leaf level is 2^g x 2^g cells
+    std::vector<std::uint32_t> cellOf;     ///< body -> leaf cell
+    std::vector<std::uint32_t> cellStart;  ///< CSR over cells
+    std::vector<std::uint32_t> bodiesSorted;
+
+    Addr bodiesA = 0, accA = 0, cellsA = 0, treeA = 0, paramsA = 0;
+    std::uint32_t buildFuncId = 0, topFuncId = 0, forceFuncId = 0;
+
+    std::uint32_t numCells() const { return 1u << (2 * gridLog2); }
+
+    Addr bodyAddr(std::uint32_t b) const { return bodiesA + 16ull * b; }
+    Addr accAddr(std::uint32_t b) const { return accA + 8ull * b; }
+    Addr cellAddr(std::uint32_t c) const { return cellsA + 8ull * c; }
+
+    /** Address of the tree node containing leaf cell c at level l. */
+    Addr
+    nodeAddr(std::uint32_t c, std::uint32_t level) const
+    {
+        // Level 0 = root. Nodes of level l start after all coarser
+        // levels: sum_{k<l} 4^k = (4^l - 1) / 3.
+        std::uint64_t level_base = ((1ull << (2 * level)) - 1) / 3;
+        std::uint32_t cx = c & ((1u << gridLog2) - 1);
+        std::uint32_t cy = c >> gridLog2;
+        std::uint32_t shift = gridLog2 - level;
+        std::uint64_t ix = (static_cast<std::uint64_t>(cy >> shift)
+                            << level) |
+                           (cx >> shift);
+        return treeA + kNodeBytes * (level_base + ix);
+    }
+};
+
+/**
+ * Per-body force evaluation used by both inline and child expansion.
+ * @param pos position in the cell-sorted body array (Barnes-Hut codes
+ *        keep bodies sorted by spatial cell, so accesses coalesce).
+ */
+void
+emitBodyForce(ThreadCtx &ctx, const BhtData &d, std::uint32_t cell,
+              std::uint32_t pos)
+{
+    ctx.ld(d.bodyAddr(pos), 16);
+    // Walk the tree from the root towards the leaf (Barnes-Hut MAC
+    // accepts coarse nodes early for distant regions): these upper
+    // nodes are shared by every body in every sibling cell.
+    for (std::uint32_t level = 0; level < d.gridLog2; ++level)
+        ctx.ld(d.nodeAddr(cell, level), kNodeBytes);
+    // Nearby interactions: the cell's own body list head.
+    std::uint32_t start = d.cellStart[cell];
+    std::uint32_t count = d.cellStart[cell + 1] - start;
+    for (std::uint32_t k = 0; k < std::min(count, 8u); ++k)
+        ctx.ld(d.bodyAddr(start + k), 16);
+    ctx.alu(20 + 2 * std::min(count, 32u));
+    ctx.st(d.accAddr(pos), 8);
+}
+
+class BhtForceProgram : public KernelProgram
+{
+  public:
+    BhtForceProgram(std::shared_ptr<const BhtData> d, std::uint32_t cell)
+        : d_(std::move(d)), cell_(cell)
+    {}
+
+    std::string name() const override { return "bht_force"; }
+    std::uint32_t functionId() const override { return d_->forceFuncId; }
+    std::uint32_t regsPerThread() const override { return 32; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const BhtData &d = *d_;
+        std::uint32_t start = d.cellStart[cell_];
+        std::uint32_t count = d.cellStart[cell_ + 1] - start;
+        std::uint32_t stride = ctx.numTbs() * ctx.threadsPerTb();
+        ctx.ld(d.paramsA + 16ull * cell_, 16);
+        ctx.ld(d.cellAddr(cell_), 8);
+        for (std::uint32_t b = ctx.globalThreadIndex(); b < count;
+             b += stride) {
+            emitBodyForce(ctx, d, cell_, start + b);
+        }
+    }
+
+  private:
+    std::shared_ptr<const BhtData> d_;
+    std::uint32_t cell_;
+};
+
+class BhtTopProgram : public KernelProgram
+{
+  public:
+    explicit BhtTopProgram(std::shared_ptr<const BhtData> d)
+        : d_(std::move(d))
+    {}
+
+    std::string name() const override { return "bht_top"; }
+    std::uint32_t functionId() const override { return d_->topFuncId; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const BhtData &d = *d_;
+        std::uint32_t cell = ctx.globalThreadIndex();
+        if (cell >= d.numCells())
+            return;
+        std::uint32_t start = d.cellStart[cell];
+        std::uint32_t count = d.cellStart[cell + 1] - start;
+        ctx.ld(d.cellAddr(cell), 8);
+        ctx.alu(4);
+        if (count == 0)
+            return;
+        if (count > kCellSpawn) {
+            ctx.st(d.paramsA + 16ull * cell, 16);
+            std::uint32_t tbs =
+                std::min(8u, (count + kBodyThreads - 1) / kBodyThreads);
+            ctx.launch({std::make_shared<BhtForceProgram>(d_, cell), tbs,
+                        kBodyThreads});
+        } else {
+            for (std::uint32_t b = 0; b < count; ++b)
+                emitBodyForce(ctx, d, cell, start + b);
+        }
+    }
+
+  private:
+    std::shared_ptr<const BhtData> d_;
+};
+
+/** Build wave: bin bodies into leaf cells, accumulate node summaries. */
+class BhtBuildProgram : public KernelProgram
+{
+  public:
+    explicit BhtBuildProgram(std::shared_ptr<const BhtData> d)
+        : d_(std::move(d))
+    {}
+
+    std::string name() const override { return "bht_build"; }
+    std::uint32_t functionId() const override { return d_->buildFuncId; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const BhtData &d = *d_;
+        std::uint32_t b = ctx.globalThreadIndex();
+        if (b >= d.numBodies)
+            return;
+        ctx.ld(d.bodyAddr(b), 16);
+        ctx.alu(6);
+        std::uint32_t cell = d.cellOf[b];
+        ctx.st(d.cellAddr(cell), 8);
+        // Propagate mass up the tree (atomic adds in the real code).
+        for (std::uint32_t level = d.gridLog2; level-- > 0;)
+            ctx.st(d.nodeAddr(cell, level), 8);
+    }
+
+  private:
+    std::shared_ptr<const BhtData> d_;
+};
+
+} // namespace
+
+void
+BhtWorkload::setup(Scale scale, std::uint64_t seed)
+{
+    scale_ = scale;
+    seed_ = seed;
+
+    auto d = std::make_shared<BhtData>();
+    switch (scale) {
+      case Scale::Tiny:
+        d->numBodies = 4000;
+        d->gridLog2 = 4;
+        break;
+      case Scale::Small:
+        d->numBodies = 150000;
+        d->gridLog2 = 8;
+        break;
+      default:
+        d->numBodies = 500000;
+        d->gridLog2 = 9;
+        break;
+    }
+
+    // Half uniform background, half in dense clusters: the clustered
+    // cells produce the skewed child launches Adaptive-Bind targets.
+    Rng rng(seed);
+    const std::uint32_t g = 1u << d->gridLog2;
+    const int clusters = 24;
+    std::vector<double> cx(clusters), cy(clusters);
+    for (int i = 0; i < clusters; ++i) {
+        cx[i] = rng.nextDouble() * g;
+        cy[i] = rng.nextDouble() * g;
+    }
+    d->cellOf.resize(d->numBodies);
+    for (std::uint32_t b = 0; b < d->numBodies; ++b) {
+        double x, y;
+        if (b % 2 == 0) {
+            x = rng.nextDouble() * g;
+            y = rng.nextDouble() * g;
+        } else {
+            int c = static_cast<int>(rng.nextBounded(clusters));
+            x = cx[c] + rng.nextGaussian() * g * 0.008;
+            y = cy[c] + rng.nextGaussian() * g * 0.008;
+        }
+        auto xi = static_cast<std::uint32_t>(
+            std::clamp(x, 0.0, g - 1.0));
+        auto yi = static_cast<std::uint32_t>(
+            std::clamp(y, 0.0, g - 1.0));
+        d->cellOf[b] = yi * g + xi;
+    }
+
+    // Counting sort of bodies by cell (the CSR over leaf cells).
+    d->cellStart.assign(d->numCells() + 1, 0);
+    for (std::uint32_t b = 0; b < d->numBodies; ++b)
+        ++d->cellStart[d->cellOf[b] + 1];
+    for (std::uint32_t c = 0; c < d->numCells(); ++c)
+        d->cellStart[c + 1] += d->cellStart[c];
+    d->bodiesSorted.resize(d->numBodies);
+    std::vector<std::uint32_t> cursor(d->cellStart.begin(),
+                                      d->cellStart.end() - 1);
+    for (std::uint32_t b = 0; b < d->numBodies; ++b)
+        d->bodiesSorted[cursor[d->cellOf[b]]++] = b;
+
+    std::uint64_t tree_nodes = ((1ull << (2 * (d->gridLog2 + 1))) - 1) / 3;
+    d->bodiesA = mem_.allocArray(d->numBodies, 16, "bodies");
+    d->accA = mem_.allocArray(d->numBodies, 8, "acc");
+    d->cellsA = mem_.allocArray(d->numCells(), 8, "cells");
+    d->treeA = mem_.allocArray(tree_nodes, kNodeBytes, "tree");
+    d->paramsA = mem_.allocArray(d->numCells(), 16, "params");
+    d->buildFuncId = allocateFunctionId();
+    d->topFuncId = allocateFunctionId();
+    d->forceFuncId = allocateFunctionId();
+
+    waves_.clear();
+    waves_.push_back({std::make_shared<BhtBuildProgram>(d),
+                      (d->numBodies + 127) / 128, 128});
+    waves_.push_back({std::make_shared<BhtTopProgram>(d),
+                      (d->numCells() + 127) / 128, 128});
+}
+
+} // namespace laperm

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Barnes-Hut tree workload (Table II: random data points).
+ */
+
+#ifndef LAPERM_WORKLOADS_BHT_HH
+#define LAPERM_WORKLOADS_BHT_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/**
+ * Barnes-Hut N-body step [28]: a build wave bins bodies into a spatial
+ * grid (the tree's leaf level); a force wave walks cells and spawns a
+ * child launch per crowded cell whose body threads traverse the upper
+ * tree — the shared tree top gives high child-sibling footprint reuse.
+ */
+class BhtWorkload : public WorkloadBase
+{
+  public:
+    std::string app() const override { return "bht"; }
+    std::string input() const override { return "points"; }
+    void setup(Scale scale, std::uint64_t seed) override;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_BHT_HH

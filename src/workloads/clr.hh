@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Graph-coloring workload (Table II: citation / graph500 / cage).
+ */
+
+#ifndef LAPERM_WORKLOADS_CLR_HH
+#define LAPERM_WORKLOADS_CLR_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/** Jones-Plassmann greedy coloring with child launches [31]. */
+class ClrWorkload : public WorkloadBase
+{
+  public:
+    explicit ClrWorkload(std::string input) : input_(std::move(input)) {}
+
+    std::string app() const override;
+    std::string input() const override;
+    void setup(Scale scale, std::uint64_t seed) override;
+
+  private:
+    std::string input_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_CLR_HH

@@ -1,0 +1,81 @@
+#include "workloads/graph_common.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+
+void
+GraphLayout::allocate(BumpAllocator &mem, const Csr &csr,
+                      bool with_weights)
+{
+    const std::uint32_t n = csr.numVertices();
+    const std::uint64_t m = csr.numEdges();
+    rowOff = mem.allocArray(n + 1, 8, "rowOff");
+    cols = mem.allocArray(m ? m : 1, 4, "cols");
+    if (with_weights)
+        weights = mem.allocArray(m ? m : 1, 4, "weights");
+    vdata = mem.allocArray(n, 4, "vdata");
+    mask = mem.allocArray(n, 1, "mask");
+    prio = mem.allocArray(n, 8, "prio");
+    params = mem.allocArray(n, 16, "params");
+    worklist = mem.allocArray(n, 4, "worklist");
+}
+
+Csr
+buildGraphInput(const std::string &input, Scale scale, std::uint64_t seed)
+{
+    std::uint32_t n;
+    std::uint32_t rmat_scale;
+    std::uint32_t deg;
+    std::uint32_t band;
+    switch (scale) {
+      case Scale::Tiny:
+        n = 3000;
+        rmat_scale = 11;
+        deg = 8;
+        band = 128;
+        break;
+      case Scale::Small:
+        n = 64000;
+        rmat_scale = 16;
+        deg = 16;
+        band = 2048;
+        break;
+      case Scale::Full:
+        n = 200000;
+        rmat_scale = 17;
+        deg = 16;
+        band = 4096;
+        break;
+      default:
+        n = 3000;
+        rmat_scale = 11;
+        deg = 8;
+        band = 128;
+        break;
+    }
+    if (input == "citation")
+        return genCitation(n, deg, seed);
+    if (input == "graph500")
+        return genRmat(rmat_scale, deg, seed);
+    if (input == "cage") {
+        // The band keeps neighbors at nearby indices (the cage15
+        // property the paper highlights) while leaving BFS frontiers
+        // wide enough to oversubscribe the device.
+        return genCage(n, band, deg, seed);
+    }
+    laperm_fatal("unknown graph input '%s'", input.c_str());
+}
+
+std::uint32_t
+pickSource(const Csr &csr)
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t v = 0; v < csr.numVertices(); ++v) {
+        if (csr.degree(v) > csr.degree(best))
+            best = v;
+    }
+    return best;
+}
+
+} // namespace laperm

@@ -1,0 +1,260 @@
+#include "workloads/join.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
+
+namespace laperm {
+
+namespace {
+
+constexpr std::uint32_t kJoinThreads = 128;
+constexpr std::uint32_t kBucketSpawn = 24; ///< S tuples above -> child
+constexpr std::uint32_t kProbeCap = 16;    ///< R tuples probed per S
+
+struct JoinData
+{
+    std::uint32_t numR = 0, numS = 0, buckets = 0;
+    std::vector<std::uint32_t> bucketOfR, bucketOfS;
+    std::vector<std::uint32_t> rStart, sStart; ///< CSR over buckets
+    std::vector<std::uint32_t> rSorted, sSorted;
+
+    Addr rKeysA = 0, sKeysA = 0;
+    Addr rPartA = 0, sPartA = 0; ///< partitioned tuple arrays
+    Addr headersA = 0, paramsA = 0, outA = 0;
+    std::uint32_t partRFuncId = 0, partSFuncId = 0, probeFuncId = 0,
+                  matchFuncId = 0;
+
+    std::uint32_t rCount(std::uint32_t b) const
+    {
+        return rStart[b + 1] - rStart[b];
+    }
+    std::uint32_t sCount(std::uint32_t b) const
+    {
+        return sStart[b + 1] - sStart[b];
+    }
+};
+
+/** Child: match one bucket's S tuples against its R tuples. */
+class JoinMatchProgram : public KernelProgram
+{
+  public:
+    JoinMatchProgram(std::shared_ptr<const JoinData> d, std::uint32_t b)
+        : d_(std::move(d)), b_(b)
+    {}
+
+    std::string name() const override { return "join_match"; }
+    std::uint32_t functionId() const override { return d_->matchFuncId; }
+    std::uint32_t regsPerThread() const override { return 32; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const JoinData &d = *d_;
+        std::uint32_t s_count = d.sCount(b_);
+        std::uint32_t r_count = std::min(d.rCount(b_), kProbeCap);
+        std::uint32_t stride = ctx.numTbs() * ctx.threadsPerTb();
+        ctx.ld(d.paramsA + 16ull * b_, 16);
+        ctx.ld(d.headersA + 16ull * b_, 16);
+        for (std::uint32_t s = ctx.globalThreadIndex(); s < s_count;
+             s += stride) {
+            // The partitioned tuples this child reads were written by
+            // the partition waves (parent-side data generation).
+            ctx.ld(d.sPartA + 8ull * (d.sStart[b_] + s), 8);
+            for (std::uint32_t r = 0; r < r_count; ++r)
+                ctx.ld(d.rPartA + 8ull * (d.rStart[b_] + r), 8);
+            ctx.alu(4 + r_count);
+            ctx.st(d.outA + 8ull * ((d.sStart[b_] + s) %
+                                    (d.numS ? d.numS : 1)),
+                   8);
+        }
+    }
+
+  private:
+    std::shared_ptr<const JoinData> d_;
+    std::uint32_t b_;
+};
+
+/** Probe wave: one thread per bucket decides inline vs. child. */
+class JoinProbeProgram : public KernelProgram
+{
+  public:
+    explicit JoinProbeProgram(std::shared_ptr<const JoinData> d)
+        : d_(std::move(d))
+    {}
+
+    std::string name() const override { return "join_probe"; }
+    std::uint32_t functionId() const override { return d_->probeFuncId; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const JoinData &d = *d_;
+        std::uint32_t b = ctx.globalThreadIndex();
+        if (b >= d.buckets)
+            return;
+        ctx.ld(d.headersA + 16ull * b, 16);
+        ctx.alu(4);
+        std::uint32_t s_count = d.sCount(b);
+        if (s_count == 0)
+            return;
+        if (s_count > kBucketSpawn) {
+            ctx.st(d.paramsA + 16ull * b, 16);
+            std::uint32_t tbs = std::min(
+                8u, (s_count + kJoinThreads - 1) / kJoinThreads);
+            ctx.launch({std::make_shared<JoinMatchProgram>(d_, b), tbs,
+                        kJoinThreads});
+        } else {
+            std::uint32_t r_count = std::min(d.rCount(b), 4u);
+            for (std::uint32_t s = 0; s < std::min(s_count, 8u); ++s) {
+                ctx.ld(d.sPartA + 8ull * (d.sStart[b] + s), 8);
+                for (std::uint32_t r = 0; r < r_count; ++r)
+                    ctx.ld(d.rPartA + 8ull * (d.rStart[b] + r), 8);
+                ctx.alu(4);
+            }
+            ctx.st(d.outA + 8ull * (d.sStart[b] % (d.numS ? d.numS : 1)),
+                   8);
+        }
+    }
+
+  private:
+    std::shared_ptr<const JoinData> d_;
+};
+
+/** Partition wave: scatter a relation's tuples into buckets. */
+class JoinPartitionProgram : public KernelProgram
+{
+  public:
+    JoinPartitionProgram(std::shared_ptr<const JoinData> d, bool is_r)
+        : d_(std::move(d)), isR_(is_r)
+    {}
+
+    std::string name() const override
+    {
+        return isR_ ? "join_partition_r" : "join_partition_s";
+    }
+    std::uint32_t functionId() const override
+    {
+        return isR_ ? d_->partRFuncId : d_->partSFuncId;
+    }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const JoinData &d = *d_;
+        std::uint32_t t = ctx.globalThreadIndex();
+        std::uint32_t n = isR_ ? d.numR : d.numS;
+        if (t >= n)
+            return;
+        ctx.ld((isR_ ? d.rKeysA : d.sKeysA) + 8ull * t, 8);
+        ctx.alu(4); // hash
+        // Scatter into the partitioned array and bump the header.
+        std::uint32_t b = isR_ ? d.bucketOfR[t] : d.bucketOfS[t];
+        ctx.st(d.headersA + 16ull * b, 4);
+        if (isR_) {
+            std::uint32_t pos = d.rStart[b] + (t % d.rCount(b));
+            ctx.st(d.rPartA + 8ull * pos, 8);
+        } else {
+            std::uint32_t pos = d.sStart[b] + (t % d.sCount(b));
+            ctx.st(d.sPartA + 8ull * pos, 8);
+        }
+    }
+
+  private:
+    std::shared_ptr<const JoinData> d_;
+    bool isR_;
+};
+
+/** CSR over buckets for one relation. */
+void
+buildBucketCsr(const std::vector<std::uint32_t> &bucket_of,
+               std::uint32_t buckets, std::vector<std::uint32_t> &start,
+               std::vector<std::uint32_t> &sorted)
+{
+    start.assign(buckets + 1, 0);
+    for (std::uint32_t b : bucket_of)
+        ++start[b + 1];
+    for (std::uint32_t b = 0; b < buckets; ++b)
+        start[b + 1] += start[b];
+    sorted.resize(bucket_of.size());
+    std::vector<std::uint32_t> cursor(start.begin(), start.end() - 1);
+    for (std::uint32_t t = 0; t < bucket_of.size(); ++t)
+        sorted[cursor[bucket_of[t]]++] = t;
+}
+
+} // namespace
+
+void
+JoinWorkload::setup(Scale scale, std::uint64_t seed)
+{
+    scale_ = scale;
+    seed_ = seed;
+
+    auto d = std::make_shared<JoinData>();
+    switch (scale) {
+      case Scale::Tiny:
+        d->numR = d->numS = 6000;
+        d->buckets = 128;
+        break;
+      case Scale::Small:
+        d->numR = d->numS = 200000;
+        d->buckets = 4096;
+        break;
+      default:
+        d->numR = d->numS = 600000;
+        d->buckets = 8192;
+        break;
+    }
+
+    const bool gaussian = input_ == "gaussian";
+    // The gaussian input concentrates tuples; more partitions keep the
+    // per-bucket peak workable while leaving heavy skew (the same
+    // radix-width choice a real partitioner would make).
+    if (gaussian)
+        d->buckets *= 8;
+    Rng rng(seed);
+    auto draw_bucket = [&]() -> std::uint32_t {
+        if (!gaussian)
+            return static_cast<std::uint32_t>(rng.nextBounded(d->buckets));
+        double g = rng.nextGaussian() * d->buckets / 20.0 +
+                   d->buckets / 2.0;
+        double clamped =
+            std::clamp(g, 0.0, static_cast<double>(d->buckets - 1));
+        return static_cast<std::uint32_t>(clamped);
+    };
+    d->bucketOfR.resize(d->numR);
+    d->bucketOfS.resize(d->numS);
+    for (auto &b : d->bucketOfR)
+        b = draw_bucket();
+    for (auto &b : d->bucketOfS)
+        b = draw_bucket();
+    buildBucketCsr(d->bucketOfR, d->buckets, d->rStart, d->rSorted);
+    buildBucketCsr(d->bucketOfS, d->buckets, d->sStart, d->sSorted);
+
+    d->rKeysA = mem_.allocArray(d->numR, 8, "rKeys");
+    d->sKeysA = mem_.allocArray(d->numS, 8, "sKeys");
+    d->rPartA = mem_.allocArray(d->numR, 8, "rPart");
+    d->sPartA = mem_.allocArray(d->numS, 8, "sPart");
+    d->headersA = mem_.allocArray(d->buckets, 16, "headers");
+    d->paramsA = mem_.allocArray(d->buckets, 16, "params");
+    d->outA = mem_.allocArray(d->numS, 8, "out");
+    d->partRFuncId = allocateFunctionId();
+    d->partSFuncId = allocateFunctionId();
+    d->probeFuncId = allocateFunctionId();
+    d->matchFuncId = allocateFunctionId();
+
+    waves_.clear();
+    waves_.push_back({std::make_shared<JoinPartitionProgram>(d, true),
+                      (d->numR + 127) / 128, 128});
+    waves_.push_back({std::make_shared<JoinPartitionProgram>(d, false),
+                      (d->numS + 127) / 128, 128});
+    waves_.push_back({std::make_shared<JoinProbeProgram>(d),
+                      (d->buckets + 127) / 128, 128});
+}
+
+} // namespace laperm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Relational-join workload (Table II: uniform / gaussian key
+ * distributions).
+ */
+
+#ifndef LAPERM_WORKLOADS_JOIN_HH
+#define LAPERM_WORKLOADS_JOIN_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/**
+ * Partitioned hash join [36]: partition waves scatter both relations
+ * into buckets; the probe wave spawns a child launch per crowded
+ * bucket that matches the bucket's R and S tuples. Each child works
+ * on its own bucket, giving the near-zero child-sibling sharing the
+ * paper reports for join; the gaussian input skews bucket sizes and
+ * stresses SMX load balance.
+ */
+class JoinWorkload : public WorkloadBase
+{
+  public:
+    explicit JoinWorkload(std::string input) : input_(std::move(input)) {}
+
+    std::string app() const override { return "join"; }
+    std::string input() const override { return input_; }
+    void setup(Scale scale, std::uint64_t seed) override;
+
+  private:
+    std::string input_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_JOIN_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Product-recommendation workload (Table II: MovieLens).
+ */
+
+#ifndef LAPERM_WORKLOADS_PRE_HH
+#define LAPERM_WORKLOADS_PRE_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/**
+ * Item-based collaborative filtering [34][35]: a profile wave builds
+ * per-user aggregates; a recommend wave spawns a child launch per
+ * heavy user whose threads score that user's rated items against the
+ * shared (Zipf-hot) item feature table.
+ */
+class PreWorkload : public WorkloadBase
+{
+  public:
+    std::string app() const override { return "pre"; }
+    std::string input() const override { return "movielens"; }
+    void setup(Scale scale, std::uint64_t seed) override;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_PRE_HH

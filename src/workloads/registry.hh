@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Registry of the benchmark instances of Table II.
+ */
+
+#ifndef LAPERM_WORKLOADS_REGISTRY_HH
+#define LAPERM_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/** All "app-input" instance names, in the paper's Table II order. */
+const std::vector<std::string> &workloadNames();
+
+/** Instantiate a workload by "app-input" name; fatal if unknown. */
+std::unique_ptr<Workload> createWorkload(const std::string &name);
+
+/** Names filtered to one application, e.g. "bfs". */
+std::vector<std::string> workloadNamesForApp(const std::string &app);
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_REGISTRY_HH

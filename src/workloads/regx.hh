@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regular-expression matching workload (Table II: DARPA network
+ * packets / random string collection).
+ */
+
+#ifndef LAPERM_WORKLOADS_REGX_HH
+#define LAPERM_WORKLOADS_REGX_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/**
+ * NFA-based packet payload scanning [32][33]: a prefilter kernel reads
+ * packet headers and the payload head; matching packets spawn a child
+ * launch that walks the payload against the shared transition table —
+ * the hot table lines drive high child-sibling footprint reuse.
+ *
+ * Inputs: "darpa" (bimodal packet sizes, bursty match clusters) and
+ * "strings" (uniform random strings, uniform match probability).
+ */
+class RegxWorkload : public WorkloadBase
+{
+  public:
+    explicit RegxWorkload(std::string input) : input_(std::move(input)) {}
+
+    std::string app() const override { return "regx"; }
+    std::string input() const override { return input_; }
+    void setup(Scale scale, std::uint64_t seed) override;
+
+  private:
+    std::string input_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_REGX_HH

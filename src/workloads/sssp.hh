@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SSSP workload (Table II: citation / graph500 / cage inputs).
+ */
+
+#ifndef LAPERM_WORKLOADS_SSSP_HH
+#define LAPERM_WORKLOADS_SSSP_HH
+
+#include "workloads/workload.hh"
+
+namespace laperm {
+
+/** Worklist-based Bellman-Ford SSSP with child launches [37]. */
+class SsspWorkload : public WorkloadBase
+{
+  public:
+    explicit SsspWorkload(std::string input) : input_(std::move(input)) {}
+
+    std::string app() const override;
+    std::string input() const override;
+    void setup(Scale scale, std::uint64_t seed) override;
+
+  private:
+    std::string input_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_WORKLOADS_SSSP_HH

@@ -1,0 +1,47 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace laperm {
+
+const char *
+toString(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny: return "tiny";
+      case Scale::Small: return "small";
+      case Scale::Full: return "full";
+    }
+    return "?";
+}
+
+Scale
+scaleFromString(const std::string &name)
+{
+    std::string s = name;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "tiny")
+        return Scale::Tiny;
+    if (s == "small")
+        return Scale::Small;
+    if (s == "full")
+        return Scale::Full;
+    laperm_fatal("unknown scale '%s' (want tiny|small|full)",
+                 name.c_str());
+}
+
+Scale
+scaleFromEnv(Scale def)
+{
+    const char *env = std::getenv("LAPERM_SCALE");
+    if (!env || !*env)
+        return def;
+    return scaleFromString(env);
+}
+
+} // namespace laperm

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/footprint.hh"
+#include "kernels/lambda_program.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+namespace {
+
+/** A minimal synthetic workload with known footprint overlap. */
+class SyntheticWorkload : public WorkloadBase
+{
+  public:
+    /**
+     * @param shared_lines lines every child shares with its parent.
+     * @param private_lines lines unique to each child.
+     */
+    SyntheticWorkload(std::uint32_t shared_lines,
+                      std::uint32_t private_lines)
+        : shared_(shared_lines), private_(private_lines)
+    {}
+
+    std::string app() const override { return "synthetic"; }
+    std::string input() const override { return "unit"; }
+
+    void
+    setup(Scale, std::uint64_t) override
+    {
+        const std::uint32_t shared = shared_;
+        const std::uint32_t priv = private_;
+        auto child = [shared, priv](std::uint32_t ix) {
+            return std::make_shared<LambdaProgram>(
+                "child", 7000, [shared, priv, ix](ThreadCtx &c) {
+                    if (c.threadIndex() != 0)
+                        return;
+                    for (std::uint32_t i = 0; i < shared; ++i)
+                        c.ld(0x100000 + i * kLineBytes, 4);
+                    for (std::uint32_t i = 0; i < priv; ++i)
+                        c.ld(0x900000 + (ix * priv + i) * kLineBytes, 4);
+                });
+        };
+        auto parent = std::make_shared<LambdaProgram>(
+            "parent", 7001, [shared, child](ThreadCtx &c) {
+                if (c.threadIndex() != 0)
+                    return;
+                // The parent touches exactly the shared lines.
+                for (std::uint32_t i = 0; i < shared; ++i)
+                    c.ld(0x100000 + i * kLineBytes, 4);
+                c.launch({child(0), 1, 32});
+                c.launch({child(1), 1, 32});
+            });
+        waves_.push_back({parent, 1, 32});
+    }
+
+  private:
+    std::uint32_t shared_;
+    std::uint32_t private_;
+};
+
+} // namespace
+
+TEST(Footprint, FullyShared)
+{
+    SyntheticWorkload w(8, 0);
+    w.setup(Scale::Tiny, 1);
+    FootprintReport rep = analyzeFootprint(w);
+    // Children == parent footprint: pc/c = 1; siblings identical.
+    EXPECT_DOUBLE_EQ(rep.parentChild, 1.0);
+    EXPECT_DOUBLE_EQ(rep.childSibling, 1.0);
+    EXPECT_DOUBLE_EQ(rep.childSiblingOwn, 1.0);
+    EXPECT_EQ(rep.directParents, 1u);
+    EXPECT_EQ(rep.childTbs, 2u);
+}
+
+TEST(Footprint, HalfShared)
+{
+    // Each child: 8 shared + 8 private lines. Union c = 8 + 16 = 24.
+    // Parent overlap pc = 8 -> pc/c = 1/3.
+    SyntheticWorkload w(8, 8);
+    w.setup(Scale::Tiny, 1);
+    FootprintReport rep = analyzeFootprint(w);
+    EXPECT_NEAR(rep.parentChild, 8.0 / 24.0, 1e-9);
+    // Sibling: cos = 8 (shared lines), co = 16 -> cos/co = 0.5;
+    // cs = union minus own-exclusive = 24 - 8 = 16 -> cos/cs = 0.5.
+    EXPECT_NEAR(rep.childSiblingOwn, 0.5, 1e-9);
+    EXPECT_NEAR(rep.childSibling, 0.5, 1e-9);
+}
+
+TEST(Footprint, NoSharing)
+{
+    SyntheticWorkload w(0, 4);
+    w.setup(Scale::Tiny, 1);
+    FootprintReport rep = analyzeFootprint(w);
+    EXPECT_DOUBLE_EQ(rep.parentChild, 0.0);
+    EXPECT_DOUBLE_EQ(rep.childSibling, 0.0);
+}
+
+TEST(Footprint, CountsLaunchTree)
+{
+    SyntheticWorkload w(2, 2);
+    w.setup(Scale::Tiny, 1);
+    FootprintReport rep = analyzeFootprint(w);
+    EXPECT_EQ(rep.hostTbs, 1u);
+    EXPECT_EQ(rep.deviceLaunches, 2u);
+}
+
+TEST(Footprint, PaperShapeOnRealWorkloads)
+{
+    // The qualitative Figure 2 claims, checked at tiny scale:
+    // join has the lowest child-sibling sharing of the suite.
+    auto join = createWorkload("join-gaussian");
+    join->setup(Scale::Tiny, 1);
+    auto bfs = createWorkload("bfs-citation");
+    bfs->setup(Scale::Tiny, 1);
+    FootprintReport jr = analyzeFootprint(*join);
+    FootprintReport br = analyzeFootprint(*bfs);
+    EXPECT_LT(jr.childSiblingOwn, br.childSiblingOwn);
+    EXPECT_GT(br.parentChild, 0.1);
+}

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "common/bump_alloc.hh"
+
+using namespace laperm;
+
+TEST(BumpAllocator, LineAligned)
+{
+    BumpAllocator alloc;
+    Addr a = alloc.alloc(1, "a");
+    Addr b = alloc.alloc(100, "b");
+    Addr c = alloc.alloc(1000, "c");
+    EXPECT_EQ(a % kLineBytes, 0u);
+    EXPECT_EQ(b % kLineBytes, 0u);
+    EXPECT_EQ(c % kLineBytes, 0u);
+}
+
+TEST(BumpAllocator, NoOverlap)
+{
+    BumpAllocator alloc;
+    Addr a = alloc.alloc(257, "a");
+    Addr b = alloc.alloc(64, "b");
+    EXPECT_GE(b, a + 257);
+}
+
+TEST(BumpAllocator, ArrayIndexing)
+{
+    BumpAllocator alloc;
+    Addr base = alloc.allocArray(100, 8, "arr");
+    EXPECT_EQ(base % kLineBytes, 0u);
+    // Element addressing is up to the caller; the region must cover it.
+    const auto &regions = alloc.regions();
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].bytes, 800u);
+}
+
+TEST(BumpAllocator, RegionsRecorded)
+{
+    BumpAllocator alloc;
+    alloc.alloc(10, "x");
+    alloc.alloc(20, "y");
+    ASSERT_EQ(alloc.regions().size(), 2u);
+    EXPECT_EQ(alloc.regions()[0].name, "x");
+    EXPECT_EQ(alloc.regions()[1].name, "y");
+    EXPECT_GT(alloc.totalBytes(), 0u);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Launch-path tests: CDP vs DTBL admission semantics, coalescing
+ * rules, priority assignment and KDU pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace laperm;
+using namespace laperm::test;
+
+namespace {
+
+/** Parent where thread 0 of each TB launches `n` children. */
+LaunchRequest
+launcher(std::uint32_t parent_tbs, std::uint32_t n,
+         std::shared_ptr<LambdaProgram> child)
+{
+    auto parent = std::make_shared<LambdaProgram>(
+        "parent", allocateFunctionId(), [child, n](ThreadCtx &c) {
+            c.alu(50);
+            if (c.threadIndex() == 0) {
+                for (std::uint32_t i = 0; i < n; ++i)
+                    c.launch({child, 1, 32});
+            }
+        });
+    return {parent, parent_tbs, 32};
+}
+
+std::shared_ptr<LambdaProgram>
+simpleChild(std::uint32_t fid)
+{
+    return std::make_shared<LambdaProgram>(
+        "child", fid, [](ThreadCtx &c) { c.alu(10); });
+}
+
+} // namespace
+
+TEST(Launcher, DtblCoalescesSameFunctionAndTbSize)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.dynParModel = DynParModel::DTBL;
+    Gpu gpu(cfg);
+    auto child = simpleChild(allocateFunctionId());
+    gpu.launchHostKernel(launcher(6, 2, child));
+    gpu.runToIdle();
+    const GpuStats &s = gpu.stats();
+    EXPECT_EQ(s.deviceLaunches, 12u);
+    // First group creates a device kernel, the rest coalesce while it
+    // runs; far fewer kernels than launches.
+    EXPECT_GT(s.dtblCoalesced, 0u);
+    EXPECT_LT(s.kernelsLaunched, 1u + 12u);
+}
+
+TEST(Launcher, DtblDifferentFunctionsDoNotCoalesce)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.dynParModel = DynParModel::DTBL;
+    Gpu gpu(cfg);
+    // Each TB launches a child with a distinct function id.
+    auto parent = std::make_shared<LambdaProgram>(
+        "parent", allocateFunctionId(), [](ThreadCtx &c) {
+            c.alu(400);
+            if (c.threadIndex() == 0) {
+                auto child = std::make_shared<LambdaProgram>(
+                    "child", 500000 + c.tbIndex(),
+                    [](ThreadCtx &t) { t.alu(10); });
+                c.launch({child, 1, 32});
+            }
+        });
+    gpu.launchHostKernel({parent, 4, 32});
+    gpu.runToIdle();
+    // No coalescing possible: every launch becomes its own kernel.
+    EXPECT_EQ(gpu.stats().dtblCoalesced, 0u);
+    EXPECT_EQ(gpu.stats().kernelsLaunched, 1u + 4u);
+}
+
+TEST(Launcher, DtblDifferentTbSizesDoNotCoalesce)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.dynParModel = DynParModel::DTBL;
+    Gpu gpu(cfg);
+    std::uint32_t fid = allocateFunctionId();
+    auto child = simpleChild(fid);
+    auto parent = std::make_shared<LambdaProgram>(
+        "parent", allocateFunctionId(), [child](ThreadCtx &c) {
+            c.alu(400);
+            if (c.threadIndex() == 0) {
+                // Same function id, different TB sizes.
+                c.launch({child, 1, 32});
+                c.launch({child, 1, 64});
+            }
+        });
+    gpu.launchHostKernel({parent, 1, 32});
+    gpu.runToIdle();
+    EXPECT_EQ(gpu.stats().dtblCoalesced, 0u);
+    EXPECT_EQ(gpu.stats().kernelsLaunched, 1u + 2u);
+}
+
+TEST(Launcher, CdpNeverCoalesces)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.dynParModel = DynParModel::CDP;
+    Gpu gpu(cfg);
+    auto child = simpleChild(allocateFunctionId());
+    gpu.launchHostKernel(launcher(4, 2, child));
+    gpu.runToIdle();
+    EXPECT_EQ(gpu.stats().dtblCoalesced, 0u);
+    EXPECT_EQ(gpu.stats().kernelsLaunched, 1u + 8u);
+}
+
+TEST(Launcher, LaunchLatencyOrdersDtblBelowCdp)
+{
+    auto child = simpleChild(allocateFunctionId());
+    auto run = [&](DynParModel model) {
+        GpuConfig cfg = tinyConfig();
+        cfg.dynParModel = model;
+        cfg.cdpLaunchLatency = 2000;
+        cfg.dtblLaunchLatency = 50;
+        Gpu gpu(cfg);
+        gpu.launchHostKernel(launcher(2, 1, child));
+        gpu.runToIdle();
+        return gpu.stats().cycles;
+    };
+    EXPECT_LT(run(DynParModel::DTBL) + 1000, run(DynParModel::CDP));
+}
+
+TEST(Launcher, DeepNestingCompletes)
+{
+    // A chain of nested launches 6 deep (priorities clamp at L=4).
+    GpuConfig cfg = tinyConfig();
+    cfg.dynParModel = DynParModel::DTBL;
+    cfg.maxPriorityLevels = 4;
+    cfg.tbPolicy = TbPolicy::AdaptiveBind;
+
+    std::function<std::shared_ptr<LambdaProgram>(int)> level =
+        [&](int depth) -> std::shared_ptr<LambdaProgram> {
+        auto body = [&level, depth](ThreadCtx &c) {
+            c.alu(5);
+            if (depth > 0 && c.threadIndex() == 0)
+                c.launch({level(depth - 1), 1, 32});
+        };
+        return std::make_shared<LambdaProgram>(
+            "lvl" + std::to_string(depth),
+            static_cast<std::uint32_t>(900000 + depth), body);
+    };
+
+    Gpu gpu(cfg);
+    gpu.launchHostKernel({level(6), 1, 32});
+    gpu.runToIdle();
+    EXPECT_EQ(gpu.stats().deviceLaunches, 6u);
+    EXPECT_EQ(gpu.activeTbs(), 0u);
+}
+
+TEST(Launcher, KduStallsCountOncePerLaunch)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.dynParModel = DynParModel::CDP;
+    cfg.kduEntries = 2;
+    Gpu gpu(cfg);
+    auto child = simpleChild(allocateFunctionId());
+    gpu.launchHostKernel(launcher(6, 3, child)); // 18 device kernels
+    gpu.runToIdle();
+    const GpuStats &s = gpu.stats();
+    EXPECT_GT(s.kduFullStalls, 0u);
+    EXPECT_LE(s.kduFullStalls, s.deviceLaunches);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the Section IV-F extensions: the TB-aware warp scheduler
+ * and contention-based TB throttling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace laperm;
+using namespace laperm::test;
+
+namespace {
+
+/** Thrash-heavy kernel: every TB streams over a large private range. */
+LaunchRequest
+thrashKernel(std::uint32_t tbs)
+{
+    auto prog = std::make_shared<LambdaProgram>(
+        "thrash", allocateFunctionId(), [](ThreadCtx &c) {
+            for (int i = 0; i < 8; ++i) {
+                // Scattered, non-reused lines: near-100% miss rate.
+                Addr a = 0x1000000ull +
+                         (static_cast<Addr>(c.globalThreadIndex()) * 131 +
+                          i * 7919) %
+                             (1u << 20) * kLineBytes;
+                c.ld(a, 4);
+                c.alu(4);
+            }
+        });
+    return {prog, tbs, 64};
+}
+
+} // namespace
+
+TEST(TbThrottle, ReducesResidencyUnderThrashing)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.numSmx = 1;
+    cfg.tbThrottleEnabled = true;
+    cfg.throttleWindow = 64;
+    cfg.throttleMinTbs = 2;
+    Gpu gpu(cfg);
+    gpu.launchHostKernel(thrashKernel(64));
+    gpu.runToIdle();
+    // The run completes despite throttling, and all TBs execute.
+    EXPECT_EQ(gpu.stats().smx[0].tbsExecuted, 64u);
+}
+
+TEST(TbThrottle, DisabledKeepsFullResidency)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.tbThrottleEnabled = false;
+    Gpu gpu(cfg);
+    gpu.launchHostKernel(thrashKernel(16));
+    gpu.runToIdle();
+    EXPECT_EQ(gpu.activeTbs(), 0u);
+}
+
+TEST(TbThrottle, CompletesUnderAllPolicies)
+{
+    for (TbPolicy p : {TbPolicy::RR, TbPolicy::AdaptiveBind}) {
+        GpuConfig cfg = tinyConfig();
+        cfg.tbThrottleEnabled = true;
+        cfg.throttleWindow = 32;
+        cfg.tbPolicy = p;
+        Gpu gpu(cfg);
+        gpu.launchHostKernel(thrashKernel(32));
+        gpu.runToIdle();
+        EXPECT_EQ(gpu.undispatchedTbs(), 0u);
+    }
+}
+
+TEST(TbAwareWarpSched, ExecutesIdenticalWork)
+{
+    auto run = [](WarpPolicy wp) {
+        GpuConfig cfg = tinyConfig();
+        cfg.warpPolicy = wp;
+        cfg.dynParModel = DynParModel::DTBL;
+        auto child = std::make_shared<LambdaProgram>(
+            "c", 8201, [](ThreadCtx &c) {
+                c.ld(0x2000000 + c.globalThreadIndex() * 4, 4);
+                c.alu(6);
+            });
+        auto parent = std::make_shared<LambdaProgram>(
+            "p", 8200, [child](ThreadCtx &c) {
+                c.alu(20);
+                if (c.threadIndex() < 2)
+                    c.launch({child, 2, 64});
+            });
+        Gpu gpu(cfg);
+        gpu.launchHostKernel({parent, 12, 64});
+        gpu.runToIdle();
+        GpuStats s = gpu.stats();
+        std::uint64_t insts = 0;
+        for (const auto &smx : s.smx)
+            insts += smx.threadInstructions;
+        return insts;
+    };
+    std::uint64_t gto = run(WarpPolicy::GTO);
+    std::uint64_t aware = run(WarpPolicy::TbAware);
+    std::uint64_t lrr = run(WarpPolicy::LRR);
+    EXPECT_EQ(gto, aware);
+    EXPECT_EQ(gto, lrr);
+}
+
+TEST(TbAwareWarpSched, RunsRealWorkload)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.warpPolicy = WarpPolicy::TbAware;
+    cfg.dynParModel = DynParModel::DTBL;
+    cfg.tbPolicy = TbPolicy::AdaptiveBind;
+    auto prog = std::make_shared<LambdaProgram>(
+        "k", allocateFunctionId(), [](ThreadCtx &c) {
+            c.ld(c.globalThreadIndex() * 64, 4);
+            c.bar();
+            c.alu(4);
+        });
+    Gpu gpu(cfg);
+    gpu.launchHostKernel({prog, 8, 128});
+    gpu.runToIdle();
+    EXPECT_EQ(gpu.activeTbs(), 0u);
+}

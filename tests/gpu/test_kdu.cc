@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "gpu/kdu.hh"
+
+using namespace laperm;
+
+TEST(Kdu, EntriesTrackAdmissionAndCompletion)
+{
+    Kdu kdu(2);
+    EXPECT_TRUE(kdu.hasFreeEntry());
+    KernelInstance *a = kdu.admitKernel(1, 32, 2, false, 0);
+    KernelInstance *b = kdu.admitKernel(2, 32, 1, true, 0);
+    EXPECT_FALSE(kdu.hasFreeEntry());
+    kdu.tbFinished(b);
+    EXPECT_TRUE(b->complete());
+    EXPECT_TRUE(kdu.hasFreeEntry());
+    kdu.tbFinished(a);
+    EXPECT_FALSE(a->complete());
+    kdu.tbFinished(a);
+    EXPECT_TRUE(a->complete());
+    EXPECT_EQ(kdu.freeEntries(), 2u);
+}
+
+TEST(Kdu, CoalesceGrowsTbPool)
+{
+    Kdu kdu(4);
+    KernelInstance *k = kdu.admitKernel(7, 64, 10, true, 0);
+    std::uint32_t first = kdu.coalesceTbs(k, 5);
+    EXPECT_EQ(first, 10u);
+    EXPECT_EQ(k->totalTbs, 15u);
+}
+
+TEST(Kdu, FindMatchRequiresFunctionAndTbSize)
+{
+    Kdu kdu(4);
+    kdu.admitKernel(7, 64, 1, true, 0);
+    EXPECT_NE(kdu.findMatch(7, 64), nullptr);
+    EXPECT_EQ(kdu.findMatch(7, 32), nullptr);
+    EXPECT_EQ(kdu.findMatch(8, 64), nullptr);
+}
+
+TEST(Kdu, CompletedKernelsDoNotMatch)
+{
+    Kdu kdu(4);
+    KernelInstance *k = kdu.admitKernel(7, 64, 1, true, 0);
+    kdu.tbFinished(k);
+    EXPECT_EQ(kdu.findMatch(7, 64), nullptr);
+}
+
+TEST(Kdu, UnitSequenceIsMonotonic)
+{
+    Kdu kdu(4);
+    DispatchUnit *u1 = kdu.createUnit();
+    DispatchUnit *u2 = kdu.createUnit();
+    EXPECT_LT(u1->seq, u2->seq);
+}

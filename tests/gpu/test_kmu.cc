@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "gpu/kmu.hh"
+#include "kernels/lambda_program.hh"
+
+using namespace laperm;
+
+namespace {
+
+PendingLaunch
+makeLaunch(std::uint32_t priority, Cycle ready_at)
+{
+    static auto prog = std::make_shared<LambdaProgram>(
+        "k", 1, [](ThreadCtx &c) { c.alu(1); });
+    PendingLaunch p;
+    p.req = {prog, 1, 32};
+    p.priority = priority;
+    p.readyAt = ready_at;
+    return p;
+}
+
+} // namespace
+
+TEST(Kmu, EmptyInitially)
+{
+    Kmu kmu;
+    EXPECT_TRUE(kmu.empty());
+    EXPECT_EQ(kmu.peekReady(100, false), nullptr);
+    EXPECT_EQ(kmu.nextReadyAt(), kNoCycle);
+}
+
+TEST(Kmu, LatencyGatesReadiness)
+{
+    Kmu kmu;
+    kmu.push(makeLaunch(1, 50));
+    EXPECT_EQ(kmu.peekReady(49, false), nullptr);
+    EXPECT_NE(kmu.peekReady(50, false), nullptr);
+    EXPECT_EQ(kmu.size(), 1u);
+}
+
+TEST(Kmu, FcfsOrder)
+{
+    Kmu kmu;
+    kmu.push(makeLaunch(0, 10));
+    kmu.push(makeLaunch(3, 10)); // higher priority but later seq
+    PendingLaunch *p = kmu.peekReady(10, false);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->priority, 0u);
+    EXPECT_EQ(p->seq, 0u);
+}
+
+TEST(Kmu, PriorityOrder)
+{
+    Kmu kmu;
+    kmu.push(makeLaunch(0, 10));
+    kmu.push(makeLaunch(3, 10));
+    kmu.push(makeLaunch(2, 10));
+    PendingLaunch *p = kmu.peekReady(10, true);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->priority, 3u);
+    kmu.pop(p);
+    p = kmu.peekReady(10, true);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->priority, 2u);
+}
+
+TEST(Kmu, FcfsWithinPriorityLevel)
+{
+    Kmu kmu;
+    kmu.push(makeLaunch(2, 10)); // seq 0
+    kmu.push(makeLaunch(2, 10)); // seq 1
+    PendingLaunch *p = kmu.peekReady(10, true);
+    EXPECT_EQ(p->seq, 0u);
+    kmu.pop(p);
+    EXPECT_EQ(kmu.peekReady(10, true)->seq, 1u);
+}
+
+TEST(Kmu, NextReadyAtTracksLatentHeap)
+{
+    Kmu kmu;
+    kmu.push(makeLaunch(0, 100));
+    kmu.push(makeLaunch(0, 40));
+    EXPECT_EQ(kmu.nextReadyAt(), 40u);
+    PendingLaunch *p = kmu.peekReady(40, false);
+    ASSERT_NE(p, nullptr);
+    kmu.pop(p);
+    EXPECT_EQ(kmu.nextReadyAt(), 100u);
+    EXPECT_EQ(kmu.size(), 1u);
+}
+
+TEST(Kmu, ManyLaunchesDrainInOrder)
+{
+    Kmu kmu;
+    for (std::uint32_t i = 0; i < 100; ++i)
+        kmu.push(makeLaunch(i % 4, i));
+    std::uint64_t drained = 0;
+    std::uint64_t last_seq = 0;
+    for (Cycle now = 0; now < 200 && !kmu.empty(); ++now) {
+        PendingLaunch *p = kmu.peekReady(now, false);
+        if (!p)
+            continue;
+        EXPECT_GE(p->seq, last_seq);
+        last_seq = p->seq;
+        kmu.pop(p);
+        ++drained;
+    }
+    EXPECT_EQ(drained, 100u);
+}

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace laperm;
+using namespace laperm::test;
+
+namespace {
+
+/** Run one host kernel to completion on a tiny device. */
+GpuStats
+runOne(const GpuConfig &cfg, const LaunchRequest &req)
+{
+    Gpu gpu(cfg);
+    gpu.launchHostKernel(req);
+    gpu.runToIdle();
+    return gpu.stats();
+}
+
+} // namespace
+
+TEST(Smx, ExecutesAllThreads)
+{
+    auto prog = std::make_shared<LambdaProgram>(
+        "k", allocateFunctionId(),
+        [](ThreadCtx &c) { c.alu(10); });
+    GpuStats s = runOne(tinyConfig(), {prog, 8, 64});
+    std::uint64_t insts = 0;
+    for (const auto &smx : s.smx)
+        insts += smx.threadInstructions;
+    EXPECT_EQ(insts, 8u * 64u); // one alu op per thread
+}
+
+TEST(Smx, OccupancyLimitsThreads)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.numSmx = 1;
+    cfg.maxThreadsPerSmx = 128;
+    cfg.maxTbsPerSmx = 16;
+    Gpu gpu(cfg);
+    auto prog = std::make_shared<LambdaProgram>(
+        "k", allocateFunctionId(), [](ThreadCtx &c) { c.alu(50); });
+    gpu.launchHostKernel({prog, 4, 64});
+    gpu.runToIdle();
+    // Only 2 TBs of 64 threads fit at once; the kernel still finishes.
+    EXPECT_EQ(gpu.stats().smx[0].tbsExecuted, 4u);
+}
+
+TEST(Smx, BarrierSynchronizesWarps)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.numSmx = 1;
+    // Two warps; warp 0 is fast before the barrier, warp 1 slow. After
+    // the barrier both store; the stores must come after the slow
+    // warp's pre-barrier work. We check via cycle counts: with the
+    // barrier the total runtime covers the slow warp's 500 cycles.
+    auto prog = std::make_shared<LambdaProgram>(
+        "bar", allocateFunctionId(), [](ThreadCtx &c) {
+            if (c.threadIndex() >= 32)
+                c.alu(500);
+            c.bar();
+            c.alu(1);
+        });
+    GpuStats s = runOne(cfg, {prog, 1, 64});
+    EXPECT_GE(s.cycles, 500u);
+    EXPECT_EQ(s.smx[0].tbsExecuted, 1u);
+}
+
+TEST(Smx, LoadsGoThroughTheHierarchy)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.numSmx = 1;
+    auto prog = std::make_shared<LambdaProgram>(
+        "ld", allocateFunctionId(), [](ThreadCtx &c) {
+            c.ld(c.globalThreadIndex() * 4, 4);
+        });
+    GpuStats s = runOne(cfg, {prog, 1, 32});
+    // 32 threads x 4B = one coalesced line.
+    EXPECT_EQ(s.l1Total().accesses, 1u);
+    EXPECT_EQ(s.dram.reads, 1u);
+}
+
+TEST(Smx, RepeatedLoadHitsL1)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.numSmx = 1;
+    auto prog = std::make_shared<LambdaProgram>(
+        "ld2", allocateFunctionId(), [](ThreadCtx &c) {
+            c.ld(0, 4);
+            c.alu(2000); // let the fill complete
+            c.ld(0, 4);
+        });
+    GpuStats s = runOne(cfg, {prog, 1, 32});
+    EXPECT_EQ(s.l1Total().hits, 1u);
+}
+
+TEST(Smx, EmptyTbCompletesImmediately)
+{
+    GpuConfig cfg = tinyConfig();
+    auto prog = std::make_shared<LambdaProgram>(
+        "empty", allocateFunctionId(), [](ThreadCtx &) {});
+    GpuStats s = runOne(cfg, {prog, 4, 32});
+    std::uint64_t tbs = 0;
+    for (const auto &smx : s.smx)
+        tbs += smx.tbsExecuted;
+    EXPECT_EQ(tbs, 4u);
+}
+
+TEST(Smx, GtoPrefersGreedyWarp)
+{
+    // Behavioural smoke test: GTO and LRR both finish with identical
+    // work; cycle counts may differ but instruction totals match.
+    GpuConfig cfg = tinyConfig();
+    cfg.numSmx = 1;
+    auto prog = std::make_shared<LambdaProgram>(
+        "mix", allocateFunctionId(), [](ThreadCtx &c) {
+            for (int i = 0; i < 4; ++i) {
+                c.ld((c.globalThreadIndex() % 7) * 4096 + i * 131072, 4);
+                c.alu(8);
+            }
+        });
+    cfg.warpPolicy = WarpPolicy::GTO;
+    GpuStats gto = runOne(cfg, {prog, 4, 64});
+    cfg.warpPolicy = WarpPolicy::LRR;
+    GpuStats lrr = runOne(cfg, {prog, 4, 64});
+    EXPECT_EQ(gto.smx[0].warpInstructions, lrr.smx[0].warpInstructions);
+    EXPECT_GT(gto.cycles, 0u);
+    EXPECT_GT(lrr.cycles, 0u);
+}

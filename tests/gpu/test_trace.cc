@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gpu/trace.hh"
+#include "test_util.hh"
+
+using namespace laperm;
+using namespace laperm::test;
+
+TEST(DispatchTrace, RecordsEveryDispatch)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.dynParModel = DynParModel::DTBL;
+    Gpu gpu(cfg);
+    DispatchTrace trace(gpu);
+
+    auto child = std::make_shared<LambdaProgram>(
+        "c", allocateFunctionId(), [](ThreadCtx &c) { c.alu(5); });
+    auto parent = std::make_shared<LambdaProgram>(
+        "p", allocateFunctionId(), [child](ThreadCtx &c) {
+            c.alu(20);
+            if (c.threadIndex() == 0)
+                c.launch({child, 2, 32});
+        });
+    gpu.launchHostKernel({parent, 3, 32});
+    gpu.runToIdle();
+
+    ASSERT_EQ(trace.events().size(), 3u + 6u);
+    std::uint32_t dynamic = 0;
+    for (const auto &e : trace.events()) {
+        EXPECT_LT(e.smx, cfg.numSmx);
+        if (e.isDynamic) {
+            ++dynamic;
+            EXPECT_NE(e.directParent, kNoTb);
+        } else {
+            EXPECT_EQ(e.directParent, kNoTb);
+        }
+    }
+    EXPECT_EQ(dynamic, 6u);
+}
+
+TEST(DispatchTrace, WritesParsableCsv)
+{
+    GpuConfig cfg = tinyConfig();
+    Gpu gpu(cfg);
+    DispatchTrace trace(gpu);
+    auto prog = std::make_shared<LambdaProgram>(
+        "k", allocateFunctionId(), [](ThreadCtx &c) { c.alu(2); });
+    gpu.launchHostKernel({prog, 4, 32});
+    gpu.runToIdle();
+
+    const std::string path = "trace_test_tmp.csv";
+    ASSERT_TRUE(trace.writeCsv(path));
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "uid,kernel,tbIndex,smx,cycle,priority,dynamic,"
+                      "parent");
+    int rows = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, 4);
+    in.close();
+    std::remove(path.c_str());
+}

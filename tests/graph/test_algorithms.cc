@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hh"
+#include "graph/generators.hh"
+
+using namespace laperm;
+
+namespace {
+
+Csr
+pathGraph(std::uint32_t n)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::uint32_t v = 0; v + 1 < n; ++v)
+        edges.emplace_back(v, v + 1);
+    return Csr::fromEdges(n, std::move(edges), true);
+}
+
+} // namespace
+
+TEST(Bfs, PathGraphLevels)
+{
+    Csr g = pathGraph(6);
+    BfsResult r = bfs(g, 0);
+    for (std::uint32_t v = 0; v < 6; ++v)
+        EXPECT_EQ(r.level[v], v);
+    EXPECT_EQ(r.frontiers.size(), 6u);
+}
+
+TEST(Bfs, FrontiersPartitionReachableVertices)
+{
+    Csr g = genRmat(11, 8, 3);
+    BfsResult r = bfs(g, 0);
+    std::vector<bool> seen(g.numVertices(), false);
+    std::uint32_t reached = 0;
+    for (std::size_t l = 0; l < r.frontiers.size(); ++l) {
+        for (std::uint32_t v : r.frontiers[l]) {
+            EXPECT_FALSE(seen[v]);
+            seen[v] = true;
+            EXPECT_EQ(r.level[v], l);
+            ++reached;
+        }
+    }
+    for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+        if (r.level[v] != kUnreached)
+            EXPECT_TRUE(seen[v]);
+    }
+    EXPECT_GT(reached, 0u);
+}
+
+TEST(Bfs, LevelsAreShortestHopCounts)
+{
+    Csr g = genCitation(3000, 6, 11);
+    BfsResult r = bfs(g, 10);
+    // Triangle inequality over edges: levels differ by at most 1.
+    for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+        if (r.level[v] == kUnreached)
+            continue;
+        for (std::uint32_t u : g.neighbors(v)) {
+            if (r.level[u] == kUnreached)
+                continue;
+            EXPECT_LE(r.level[u], r.level[v] + 1);
+        }
+    }
+}
+
+TEST(Sssp, PathGraphDistances)
+{
+    Csr g = pathGraph(5);
+    std::vector<std::uint32_t> w(g.numEdges(), 3);
+    SsspResult r = sssp(g, w, 0);
+    for (std::uint32_t v = 0; v < 5; ++v)
+        EXPECT_EQ(r.dist[v], 3 * v);
+}
+
+TEST(Sssp, NoEdgeRelaxable)
+{
+    // Final distances satisfy dist[v] <= dist[u] + w(u,v).
+    Csr g = genCage(2000, 24, 8, 5);
+    auto w = genEdgeWeights(g, 32, 5);
+    SsspResult r = sssp(g, w, 100, 1000);
+    for (std::uint32_t u = 0; u < g.numVertices(); ++u) {
+        if (r.dist[u] == kUnreached)
+            continue;
+        auto nbrs = g.neighbors(u);
+        std::uint64_t base = g.offset(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            EXPECT_LE(r.dist[nbrs[i]], r.dist[u] + w[base + i]);
+    }
+}
+
+TEST(Sssp, RoundsShrinkEventually)
+{
+    Csr g = genUniform(2000, 8, 2);
+    auto w = genEdgeWeights(g, 16, 2);
+    SsspResult r = sssp(g, w, 0, 64);
+    ASSERT_GT(r.rounds.size(), 1u);
+    EXPECT_EQ(r.rounds[0].size(), 1u); // just the source
+}
+
+TEST(Coloring, Valid)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        Csr g = genRmat(11, 8, seed);
+        ColoringResult r = jpColoring(g, seed);
+        EXPECT_TRUE(coloringValid(g, r.color)) << "seed " << seed;
+    }
+}
+
+TEST(Coloring, RoundsAreIndependentSets)
+{
+    Csr g = genCitation(2000, 8, 4);
+    ColoringResult r = jpColoring(g, 4);
+    for (const auto &round : r.rounds) {
+        std::vector<bool> in_round(g.numVertices(), false);
+        for (std::uint32_t v : round)
+            in_round[v] = true;
+        for (std::uint32_t v : round) {
+            for (std::uint32_t u : g.neighbors(v))
+                EXPECT_FALSE(in_round[u] && u != v);
+        }
+    }
+}
+
+TEST(Coloring, EveryVertexColoredOnce)
+{
+    Csr g = genCage(1500, 16, 6, 7);
+    ColoringResult r = jpColoring(g, 7);
+    std::vector<int> times(g.numVertices(), 0);
+    for (const auto &round : r.rounds) {
+        for (std::uint32_t v : round)
+            ++times[v];
+    }
+    for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+        EXPECT_LE(times[v], 1);
+        EXPECT_NE(r.color[v], kUnreached);
+    }
+}

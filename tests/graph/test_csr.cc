@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr.hh"
+
+using namespace laperm;
+
+TEST(Csr, FromEdgesBasic)
+{
+    Csr g = Csr::fromEdges(4, {{0, 1}, {0, 2}, {2, 3}}, false);
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 0u);
+    EXPECT_EQ(g.degree(2), 1u);
+    auto n0 = g.neighbors(0);
+    ASSERT_EQ(n0.size(), 2u);
+    EXPECT_EQ(n0[0], 1u);
+    EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(Csr, SymmetricInsertsReverseEdges)
+{
+    Csr g = Csr::fromEdges(3, {{0, 1}}, true);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(Csr, DuplicatesAndSelfLoopsRemoved)
+{
+    Csr g = Csr::fromEdges(3, {{0, 1}, {0, 1}, {1, 1}, {2, 2}}, false);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.degree(1), 0u);
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Csr, OffsetsConsistent)
+{
+    Csr g = Csr::fromEdges(5, {{0, 1}, {1, 2}, {1, 3}, {4, 0}}, false);
+    std::uint64_t total = 0;
+    for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(g.offset(v), total);
+        total += g.degree(v);
+    }
+    EXPECT_EQ(total, g.numEdges());
+}
+
+TEST(Csr, MaxDegree)
+{
+    Csr g = Csr::fromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}}, false);
+    EXPECT_EQ(g.maxDegree(), 3u);
+    Csr empty = Csr::fromEdges(2, {}, false);
+    EXPECT_EQ(empty.maxDegree(), 0u);
+}

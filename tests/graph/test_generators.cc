@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hh"
+
+using namespace laperm;
+
+namespace {
+
+/** Mean |neighbor - vertex| id distance, a locality measure. */
+double
+meanNeighborDistance(const Csr &g)
+{
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+        for (std::uint32_t u : g.neighbors(v)) {
+            sum += std::abs(static_cast<double>(u) -
+                            static_cast<double>(v));
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace
+
+TEST(Generators, Deterministic)
+{
+    Csr a = genCitation(2000, 8, 42);
+    Csr b = genCitation(2000, 8, 42);
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_EQ(a.cols(), b.cols());
+}
+
+TEST(Generators, SeedChangesGraph)
+{
+    Csr a = genCitation(2000, 8, 1);
+    Csr b = genCitation(2000, 8, 2);
+    EXPECT_NE(a.cols(), b.cols());
+}
+
+TEST(Generators, CitationIsLocalityConcentrated)
+{
+    // The paper attributes high sharing on citation/cage inputs to
+    // neighbors living at nearby ids; RMAT scatters them.
+    Csr cit = genCitation(4096, 8, 7);
+    Csr rmat = genRmat(12, 8, 7);
+    EXPECT_LT(meanNeighborDistance(cit),
+              meanNeighborDistance(rmat) * 0.5);
+}
+
+TEST(Generators, CageIsBanded)
+{
+    const std::uint32_t band = 32;
+    Csr g = genCage(4000, band, 8, 3);
+    for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+        for (std::uint32_t u : g.neighbors(v)) {
+            EXPECT_LE(std::abs(static_cast<std::int64_t>(u) -
+                               static_cast<std::int64_t>(v)),
+                      static_cast<std::int64_t>(band));
+        }
+    }
+}
+
+TEST(Generators, RmatIsHeavyTailed)
+{
+    Csr g = genRmat(13, 16, 5);
+    // A scale-free graph has a max degree far above the average.
+    double avg = static_cast<double>(g.numEdges()) / g.numVertices();
+    EXPECT_GT(g.maxDegree(), avg * 10);
+}
+
+TEST(Generators, UniformDegreesConcentrated)
+{
+    Csr g = genUniform(4000, 16, 9);
+    double avg = static_cast<double>(g.numEdges()) / g.numVertices();
+    EXPECT_LT(g.maxDegree(), avg * 4);
+}
+
+TEST(Generators, EdgeWeightsInRange)
+{
+    Csr g = genUniform(1000, 8, 1);
+    auto w = genEdgeWeights(g, 64, 2);
+    ASSERT_EQ(w.size(), g.numEdges());
+    for (auto x : w) {
+        EXPECT_GE(x, 1u);
+        EXPECT_LE(x, 64u);
+    }
+}
+
+TEST(Generators, SymmetricGraphs)
+{
+    // Every generator symmetrizes: degree(u->v) implies v->u exists.
+    for (const Csr &g : {genCitation(1000, 6, 3), genCage(1000, 16, 6, 3),
+                         genUniform(1000, 6, 3)}) {
+        for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+            for (std::uint32_t u : g.neighbors(v)) {
+                auto back = g.neighbors(u);
+                EXPECT_TRUE(std::find(back.begin(), back.end(), v) !=
+                            back.end());
+            }
+        }
+    }
+}

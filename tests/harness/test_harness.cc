@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+TEST(Harness, PaperConfigMatchesTable1)
+{
+    GpuConfig cfg = paperConfig();
+    EXPECT_EQ(cfg.numSmx, 13u);
+    EXPECT_EQ(cfg.maxThreadsPerSmx, 2048u);
+    EXPECT_EQ(cfg.maxTbsPerSmx, 16u);
+    EXPECT_EQ(cfg.regsPerSmx, 65536u);
+    EXPECT_EQ(cfg.l1Size, 32u * 1024);
+    EXPECT_EQ(cfg.l2Size, 1536u * 1024);
+    EXPECT_EQ(cfg.kduEntries, 32u);
+    EXPECT_EQ(cfg.warpPolicy, WarpPolicy::GTO);
+}
+
+TEST(Harness, RunOneProducesMetrics)
+{
+    auto w = createWorkload("bfs-cage");
+    w->setup(Scale::Tiny, 1);
+    GpuConfig cfg = paperConfig();
+    cfg.dynParModel = DynParModel::DTBL;
+    cfg.tbPolicy = TbPolicy::AdaptiveBind;
+    RunResult r = runOne(*w, cfg);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_GE(r.l1HitRate, 0.0);
+    EXPECT_LE(r.l1HitRate, 1.0);
+    EXPECT_EQ(r.workload, "bfs-cage");
+}
+
+TEST(Harness, MatrixCacheRoundTrip)
+{
+    setenv("LAPERM_NO_CACHE", "0", 1);
+    std::remove("laperm_results_tiny_99.tsv");
+    std::vector<std::string> names = {"bfs-cage"};
+    auto first = runMatrix(names, Scale::Tiny, 99, true);
+    ASSERT_EQ(first.size(), 8u); // 2 models x 4 policies
+    auto second = runMatrix(names, Scale::Tiny, 99, true);
+    ASSERT_EQ(second.size(), 8u);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].workload, second[i].workload);
+        EXPECT_NEAR(first[i].ipc, second[i].ipc, 1e-3);
+        EXPECT_NEAR(first[i].cycles, second[i].cycles, 1.0);
+    }
+    std::remove("laperm_results_tiny_99.tsv");
+}
+
+TEST(Harness, FindResultAndMean)
+{
+    std::vector<RunResult> rs(2);
+    rs[0].workload = "a";
+    rs[0].model = DynParModel::CDP;
+    rs[0].policy = TbPolicy::RR;
+    rs[0].ipc = 2.0;
+    rs[1].workload = "b";
+    rs[1].model = DynParModel::CDP;
+    rs[1].policy = TbPolicy::RR;
+    rs[1].ipc = 4.0;
+    EXPECT_EQ(&findResult(rs, "a", DynParModel::CDP, TbPolicy::RR),
+              &rs[0]);
+    EXPECT_DOUBLE_EQ(
+        meanOver(rs, DynParModel::CDP, TbPolicy::RR, &RunResult::ipc),
+        3.0);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmtPct(0.123), "12.3%");
+    EXPECT_EQ(fmtPct(0.5, 0), "50%");
+    EXPECT_EQ(fmtF(1.2345), "1.23");
+    EXPECT_EQ(fmtU(42), "42");
+}
+
+TEST(Table, PrintDoesNotCrash)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "22"});
+    t.addRule();
+    t.addRow({"333", "4"});
+    t.print();
+}

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "kernels/lambda_program.hh"
+#include "kernels/thread_ctx.hh"
+
+using namespace laperm;
+
+TEST(ThreadCtx, Indices)
+{
+    ThreadCtx ctx(3, 17, 64, 10);
+    EXPECT_EQ(ctx.tbIndex(), 3u);
+    EXPECT_EQ(ctx.threadIndex(), 17u);
+    EXPECT_EQ(ctx.threadsPerTb(), 64u);
+    EXPECT_EQ(ctx.numTbs(), 10u);
+    EXPECT_EQ(ctx.globalThreadIndex(), 3u * 64 + 17);
+}
+
+TEST(ThreadCtx, LoadEmitsLineAddress)
+{
+    ThreadCtx ctx(0, 0, 32, 1);
+    ctx.ld(0x1234, 4);
+    ASSERT_EQ(ctx.ops().size(), 1u);
+    EXPECT_EQ(ctx.ops()[0].kind, OpKind::Load);
+    EXPECT_EQ(ctx.ops()[0].addr, lineAddr(0x1234));
+}
+
+TEST(ThreadCtx, WideAccessSpansLines)
+{
+    ThreadCtx ctx(0, 0, 32, 1);
+    ctx.ld(kLineBytes - 4, 8); // straddles two lines
+    ASSERT_EQ(ctx.ops().size(), 2u);
+    EXPECT_EQ(ctx.ops()[0].addr, 0u);
+    EXPECT_EQ(ctx.ops()[1].addr, static_cast<Addr>(kLineBytes));
+}
+
+TEST(ThreadCtx, AluMergesAdjacent)
+{
+    ThreadCtx ctx(0, 0, 32, 1);
+    ctx.alu(3);
+    ctx.alu(5);
+    ASSERT_EQ(ctx.ops().size(), 1u);
+    EXPECT_EQ(ctx.ops()[0].aluCycles, 8u);
+    ctx.ld(0);
+    ctx.alu(2);
+    EXPECT_EQ(ctx.ops().size(), 3u);
+}
+
+TEST(ThreadCtx, AluZeroIsNoop)
+{
+    ThreadCtx ctx(0, 0, 32, 1);
+    ctx.alu(0);
+    EXPECT_TRUE(ctx.ops().empty());
+}
+
+TEST(ThreadCtx, LaunchRecordsRequest)
+{
+    auto prog = std::make_shared<LambdaProgram>(
+        "child", allocateFunctionId(), [](ThreadCtx &c) { c.alu(1); });
+    ThreadCtx ctx(0, 0, 32, 1);
+    ctx.launch({prog, 4, 64});
+    ASSERT_EQ(ctx.ops().size(), 1u);
+    EXPECT_EQ(ctx.ops()[0].kind, OpKind::Launch);
+    ASSERT_EQ(ctx.launches().size(), 1u);
+    EXPECT_EQ(ctx.launches()[0].numTbs, 4u);
+    EXPECT_EQ(ctx.launches()[0].threadsPerTb, 64u);
+}
+
+TEST(ThreadCtx, BarEmitsOp)
+{
+    ThreadCtx ctx(0, 0, 32, 1);
+    ctx.bar();
+    ASSERT_EQ(ctx.ops().size(), 1u);
+    EXPECT_EQ(ctx.ops()[0].kind, OpKind::Bar);
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "kernels/lambda_program.hh"
+#include "kernels/warp_trace.hh"
+
+using namespace laperm;
+
+namespace {
+
+std::vector<ThreadCtx>
+makeThreads(std::uint32_t count,
+            const std::function<void(ThreadCtx &)> &body)
+{
+    std::vector<ThreadCtx> threads;
+    for (std::uint32_t t = 0; t < count; ++t) {
+        threads.emplace_back(0, t, count, 1);
+        body(threads.back());
+    }
+    return threads;
+}
+
+} // namespace
+
+TEST(WarpTrace, CoalescedLoadsMergeToOneLine)
+{
+    // 32 threads loading consecutive 4-byte words in one line.
+    auto threads = makeThreads(32, [](ThreadCtx &c) {
+        c.ld(c.threadIndex() * 4, 4);
+    });
+    auto ops = buildWarpOps(threads, 0, 32);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].kind, OpKind::Load);
+    EXPECT_EQ(ops[0].activeLanes, 32u);
+    EXPECT_EQ(ops[0].lines.size(), 1u);
+}
+
+TEST(WarpTrace, ScatteredLoadsProduceManyLines)
+{
+    auto threads = makeThreads(32, [](ThreadCtx &c) {
+        c.ld(static_cast<Addr>(c.threadIndex()) * 4096, 4);
+    });
+    auto ops = buildWarpOps(threads, 0, 32);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].lines.size(), 32u);
+}
+
+TEST(WarpTrace, AluTakesMaxOverLanes)
+{
+    auto threads = makeThreads(4, [](ThreadCtx &c) {
+        c.alu(c.threadIndex() + 1);
+    });
+    auto ops = buildWarpOps(threads, 0, 4);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].aluCycles, 4u);
+}
+
+TEST(WarpTrace, DivergentKindsSerialize)
+{
+    // Even threads compute, odd threads load: two warp ops.
+    auto threads = makeThreads(4, [](ThreadCtx &c) {
+        if (c.threadIndex() % 2 == 0)
+            c.alu(2);
+        else
+            c.ld(0);
+    });
+    auto ops = buildWarpOps(threads, 0, 4);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].activeLanes, 2u);
+    EXPECT_EQ(ops[1].activeLanes, 2u);
+    EXPECT_NE(ops[0].kind, ops[1].kind);
+}
+
+TEST(WarpTrace, UnevenTraceLengths)
+{
+    auto threads = makeThreads(3, [](ThreadCtx &c) {
+        for (std::uint32_t i = 0; i <= c.threadIndex(); ++i)
+            c.ld(i * 4096 + c.threadIndex() * 131072);
+    });
+    auto ops = buildWarpOps(threads, 0, 3);
+    // Positions: step0 all 3 lanes, step1 two lanes, step2 one lane.
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].activeLanes, 3u);
+    EXPECT_EQ(ops[1].activeLanes, 2u);
+    EXPECT_EQ(ops[2].activeLanes, 1u);
+}
+
+TEST(WarpTrace, BarrierWaitsForAllLanes)
+{
+    // Lane 0 reaches the bar immediately; lane 1 loads first. The bar
+    // must issue once, after the load, with both lanes.
+    std::vector<ThreadCtx> threads;
+    threads.emplace_back(0, 0, 2, 1);
+    threads.back().bar();
+    threads.back().alu(1);
+    threads.emplace_back(0, 1, 2, 1);
+    threads.back().ld(0);
+    threads.back().bar();
+    threads.back().alu(1);
+
+    auto ops = buildWarpOps(threads, 0, 2);
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].kind, OpKind::Load);
+    EXPECT_EQ(ops[1].kind, OpKind::Bar);
+    EXPECT_EQ(ops[1].activeLanes, 2u);
+    EXPECT_EQ(ops[2].kind, OpKind::Alu);
+}
+
+TEST(WarpTrace, LaunchGathersPerLaneRequests)
+{
+    auto child = std::make_shared<LambdaProgram>(
+        "c", allocateFunctionId(), [](ThreadCtx &c) { c.alu(1); });
+    auto threads = makeThreads(4, [&](ThreadCtx &c) {
+        if (c.threadIndex() < 2)
+            c.launch({child, c.threadIndex() + 1, 32});
+    });
+    auto ops = buildWarpOps(threads, 0, 4);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].kind, OpKind::Launch);
+    ASSERT_EQ(ops[0].launches.size(), 2u);
+    EXPECT_EQ(ops[0].launches[0].numTbs, 1u);
+    EXPECT_EQ(ops[0].launches[1].numTbs, 2u);
+}
+
+TEST(WarpTrace, EmptyThreadsProduceNoOps)
+{
+    auto threads = makeThreads(2, [](ThreadCtx &) {});
+    auto ops = buildWarpOps(threads, 0, 2);
+    EXPECT_TRUE(ops.empty());
+}

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace laperm;
+
+namespace {
+
+CacheParams
+smallParams(bool write_evict = false)
+{
+    CacheParams p;
+    p.name = "test";
+    p.size = 4 * 1024; // 32 lines
+    p.assoc = 4;       // 8 sets
+    p.writeEvict = write_evict;
+    return p;
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallParams());
+    auto r1 = c.lookupLoad(0, 0);
+    EXPECT_FALSE(r1.hit);
+    c.allocate(0, 100, 0, false);
+    auto r2 = c.lookupLoad(0, 200);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, MshrMergeWhileFillPending)
+{
+    Cache c(smallParams());
+    c.lookupLoad(0, 0);
+    c.allocate(0, 500, 0, false);
+    // A second access before the fill completes merges.
+    auto r = c.lookupLoad(0, 100);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.mshrMerge);
+    EXPECT_EQ(r.fillReady, 500u);
+    EXPECT_EQ(c.stats().mshrMerges, 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    CacheParams p = smallParams();
+    p.size = 512; // 4 lines, 1 set of assoc 4
+    p.assoc = 4;
+    Cache c(p);
+    // Fill the set: lines 0..3 (all map to set 0 since numSets == 1).
+    for (Addr i = 0; i < 4; ++i) {
+        c.lookupLoad(i * kLineBytes, i);
+        c.allocate(i * kLineBytes, i, i, false);
+    }
+    // Touch line 0 to make line 1 the LRU victim.
+    c.lookupLoad(0, 10);
+    c.lookupLoad(4 * kLineBytes, 11);
+    c.allocate(4 * kLineBytes, 20, 11, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(kLineBytes)); // line 1 evicted
+    EXPECT_TRUE(c.contains(4 * kLineBytes));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, WriteEvictStoreInvalidatesLine)
+{
+    Cache c(smallParams(true));
+    c.lookupLoad(0, 0);
+    c.allocate(0, 0, 0, false);
+    EXPECT_TRUE(c.contains(0));
+    c.lookupStore(0, 1);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_EQ(c.stats().storeEvicts, 1u);
+    // Stores do not count in L1 access statistics.
+    EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+TEST(Cache, WriteBackDirtyEviction)
+{
+    CacheParams p = smallParams(false);
+    p.size = 512;
+    p.assoc = 4;
+    Cache c(p);
+    c.lookupStore(0, 0);
+    c.allocate(0, 0, 0, true); // dirty allocate
+    for (Addr i = 1; i <= 4; ++i) {
+        c.lookupLoad(i * kLineBytes, i);
+        bool victim_dirty = c.allocate(i * kLineBytes, i, i, false);
+        if (i == 4)
+            EXPECT_TRUE(victim_dirty); // line 0 was dirty
+    }
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, StoreHitMarksDirty)
+{
+    Cache c(smallParams(false));
+    c.lookupLoad(0, 0);
+    c.allocate(0, 0, 0, false);
+    auto r = c.lookupStore(0, 1);
+    EXPECT_TRUE(r.hit);
+    // Evicting it must report dirty: fill the set.
+    CacheParams p = smallParams(false);
+    (void)p;
+}
+
+TEST(Cache, MshrSurvivesEviction)
+{
+    CacheParams p = smallParams();
+    p.size = 512;
+    p.assoc = 4;
+    Cache c(p);
+    c.lookupLoad(0, 0);
+    c.allocate(0, 1000, 0, false); // fill pending until cycle 1000
+    // Evict line 0 while its fill is outstanding.
+    for (Addr i = 1; i <= 4; ++i) {
+        c.lookupLoad(i * kLineBytes, i);
+        c.allocate(i * kLineBytes, i, i, false);
+    }
+    EXPECT_FALSE(c.contains(0));
+    auto r = c.lookupLoad(0, 50);
+    EXPECT_TRUE(r.mshrMerge);
+    EXPECT_EQ(r.fillReady, 1000u);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallParams());
+    c.lookupLoad(0, 0);
+    c.allocate(0, 0, 0, false);
+    c.reset();
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(Cache, SetIndexingSeparatesSets)
+{
+    Cache c(smallParams()); // 8 sets
+    // Lines mapping to different sets never evict each other.
+    for (Addr s = 0; s < 8; ++s) {
+        Addr line = s * kLineBytes;
+        c.lookupLoad(line, s);
+        c.allocate(line, s, s, false);
+    }
+    for (Addr s = 0; s < 8; ++s)
+        EXPECT_TRUE(c.contains(s * kLineBytes));
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Property-style parameterized cache tests: invariants that must hold
+ * for every geometry (sizes x associativities) under randomized access
+ * streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_set>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+
+using namespace laperm;
+
+namespace {
+
+using Geometry = std::tuple<std::uint32_t /*size*/, std::uint32_t
+                            /*assoc*/>;
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    CacheParams
+    params() const
+    {
+        CacheParams p;
+        p.size = std::get<0>(GetParam());
+        p.assoc = std::get<1>(GetParam());
+        return p;
+    }
+};
+
+} // namespace
+
+TEST_P(CacheGeometry, StatsAreConsistentUnderRandomStream)
+{
+    Cache c(params());
+    Rng rng(std::get<0>(GetParam()) + std::get<1>(GetParam()));
+    for (int i = 0; i < 20000; ++i) {
+        Addr line = rng.nextBounded(4096) * kLineBytes;
+        Cycle now = static_cast<Cycle>(i);
+        auto r = c.lookupLoad(line, now);
+        if (!r.hit && !r.mshrMerge)
+            c.allocate(line, now + 300, now, false);
+    }
+    const CacheStats &s = c.stats();
+    EXPECT_EQ(s.accesses, 20000u);
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_LE(s.mshrMerges, s.misses);
+}
+
+TEST_P(CacheGeometry, CapacityIsRespected)
+{
+    CacheParams p = params();
+    Cache c(p);
+    const std::uint32_t lines = p.size / kLineBytes;
+    // Insert 4x capacity worth of distinct lines.
+    for (Addr i = 0; i < 4ull * lines; ++i) {
+        c.lookupLoad(i * kLineBytes, i);
+        c.allocate(i * kLineBytes, i, i, false);
+    }
+    // At most `lines` of them can still be resident.
+    std::uint32_t resident = 0;
+    for (Addr i = 0; i < 4ull * lines; ++i)
+        resident += c.contains(i * kLineBytes);
+    EXPECT_LE(resident, lines);
+    EXPECT_EQ(c.stats().evictions, 3ull * lines);
+}
+
+TEST_P(CacheGeometry, WorkingSetWithinCacheAlwaysHitsAfterWarmup)
+{
+    CacheParams p = params();
+    Cache c(p);
+    // A working set of one line per set can never conflict.
+    const std::uint32_t sets = c.numSets();
+    for (Addr i = 0; i < sets; ++i) {
+        c.lookupLoad(i * kLineBytes, i);
+        c.allocate(i * kLineBytes, i, i, false);
+    }
+    std::uint64_t hits_before = c.stats().hits;
+    for (int round = 0; round < 3; ++round) {
+        for (Addr i = 0; i < sets; ++i) {
+            auto r = c.lookupLoad(i * kLineBytes, 1000 + i);
+            EXPECT_TRUE(r.hit);
+        }
+    }
+    EXPECT_EQ(c.stats().hits, hits_before + 3ull * sets);
+}
+
+TEST_P(CacheGeometry, ContainsAgreesWithLookup)
+{
+    Cache c(params());
+    Rng rng(99);
+    std::unordered_set<Addr> inserted;
+    for (int i = 0; i < 5000; ++i) {
+        Addr line = rng.nextBounded(512) * kLineBytes;
+        bool contained = c.contains(line);
+        auto r = c.lookupLoad(line, 100000 + i);
+        EXPECT_EQ(contained, r.hit || r.mshrMerge);
+        if (!r.hit && !r.mshrMerge)
+            c.allocate(line, 100000 + i, 100000 + i, false);
+        inserted.insert(line);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(Geometry{2048, 1},      // direct-mapped
+                      Geometry{4096, 4},      // small L1-ish
+                      Geometry{32768, 4},     // Table I L1
+                      Geometry{65536, 8},     // mid
+                      Geometry{1572864, 16}), // Table I L2
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "_a" +
+               std::to_string(std::get<1>(info.param));
+    });

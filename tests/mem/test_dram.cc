@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace laperm;
+
+namespace {
+
+GpuConfig
+dramConfig()
+{
+    GpuConfig cfg;
+    cfg.dramChannels = 1;
+    cfg.dramBanksPerChannel = 1; // single bank: deterministic queueing
+    cfg.dramLatency = 100;
+    cfg.dramServiceInterval = 10;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Dram, UncontendedLatency)
+{
+    Dram d(dramConfig());
+    EXPECT_EQ(d.read(0, 50), 150u);
+}
+
+TEST(Dram, BankQueueing)
+{
+    Dram d(dramConfig());
+    Cycle first = d.read(0, 0);
+    Cycle second = d.read(kLineBytes, 0); // same (only) bank
+    EXPECT_EQ(first, 100u);
+    EXPECT_EQ(second, 110u); // starts after the service interval
+    EXPECT_EQ(d.stats().totalQueueCycles, 10u);
+}
+
+TEST(Dram, WritesConsumeBandwidth)
+{
+    Dram d(dramConfig());
+    d.write(0, 0);
+    Cycle r = d.read(kLineBytes, 0);
+    EXPECT_EQ(r, 110u); // queued behind the write
+    EXPECT_EQ(d.stats().writes, 1u);
+    EXPECT_EQ(d.stats().reads, 1u);
+}
+
+TEST(Dram, MultiBankParallelism)
+{
+    GpuConfig cfg = dramConfig();
+    cfg.dramBanksPerChannel = 8;
+    Dram d(cfg);
+    // Requests to different banks do not queue on each other.
+    Cycle worst = 0;
+    for (Addr i = 0; i < 8; ++i)
+        worst = std::max(worst, d.read(i * kLineBytes, 0));
+    // With 8 banks at least some pair must have proceeded in parallel:
+    // the worst completion is far below fully serialized service.
+    EXPECT_LT(worst, 100u + 8 * 10u);
+}
+
+TEST(Dram, ResetClearsQueues)
+{
+    Dram d(dramConfig());
+    d.read(0, 0);
+    d.reset();
+    EXPECT_EQ(d.read(0, 0), 100u);
+    EXPECT_EQ(d.stats().reads, 1u);
+}

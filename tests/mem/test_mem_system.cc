@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+
+using namespace laperm;
+
+namespace {
+
+GpuConfig
+memConfig()
+{
+    GpuConfig cfg;
+    cfg.numSmx = 4;
+    cfg.l1Size = 4 * 1024;
+    cfg.l1Assoc = 4;
+    cfg.l1HitLatency = 30;
+    cfg.l2Size = 64 * 1024;
+    cfg.l2Assoc = 8;
+    cfg.l2HitLatency = 120;
+    cfg.l2Banks = 2;
+    cfg.l2ServiceInterval = 2;
+    cfg.dramLatency = 230;
+    cfg.dramServiceInterval = 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MemSystem, ColdLoadGoesToDram)
+{
+    MemSystem m(memConfig());
+    Cycle done = m.load(0, 0, 0);
+    // L1 miss -> L2 miss detected after l2HitLatency -> DRAM latency.
+    EXPECT_EQ(done, 120u + 230u);
+    EXPECT_EQ(m.dram().stats().reads, 1u);
+}
+
+TEST(MemSystem, L1HitIsFast)
+{
+    GpuConfig cfg = memConfig();
+    MemSystem m(cfg);
+    Cycle fill = m.load(0, 0, 0);
+    Cycle hit = m.load(0, 0, fill + 1);
+    EXPECT_EQ(hit, fill + 1 + cfg.l1HitLatency);
+    EXPECT_EQ(m.l1(0).stats().hits, 1u);
+}
+
+TEST(MemSystem, L2HitFromAnotherSmx)
+{
+    GpuConfig cfg = memConfig();
+    MemSystem m(cfg);
+    Cycle fill = m.load(0, 0, 0);
+    // SMX 1 misses its own L1 but hits the shared L2.
+    Cycle done = m.load(1, 0, fill + 1);
+    EXPECT_LT(done, fill + 1 + cfg.l2HitLatency + 10);
+    EXPECT_EQ(m.l2().stats().hits, 1u);
+    EXPECT_EQ(m.dram().stats().reads, 1u); // no second DRAM access
+}
+
+TEST(MemSystem, StoreInvalidatesL1OfStoringSmx)
+{
+    MemSystem m(memConfig());
+    Cycle fill = m.load(0, 0, 0);
+    EXPECT_TRUE(m.l1(0).contains(0));
+    m.store(0, 0, fill + 1);
+    EXPECT_FALSE(m.l1(0).contains(0));
+}
+
+TEST(MemSystem, StoreAllocatesInL2)
+{
+    MemSystem m(memConfig());
+    m.store(0, 0, 0);
+    EXPECT_TRUE(m.l2().contains(0));
+    // A later load from any SMX hits L2.
+    Cycle done = m.load(2, 0, 1000);
+    (void)done;
+    EXPECT_EQ(m.l2().stats().hits, 1u);
+}
+
+TEST(MemSystem, MshrMergeProducesNoExtraL2Traffic)
+{
+    MemSystem m(memConfig());
+    m.load(0, 0, 0);
+    std::uint64_t l2_before = m.l2().stats().accesses;
+    m.load(0, 0, 1); // merged into the in-flight fill
+    EXPECT_EQ(m.l2().stats().accesses, l2_before);
+    EXPECT_EQ(m.l1(0).stats().mshrMerges, 1u);
+}
+
+TEST(MemSystem, SmxClusterSharesL1)
+{
+    GpuConfig cfg = memConfig();
+    cfg.smxPerCluster = 2;
+    MemSystem m(cfg);
+    EXPECT_EQ(m.numL1(), 2u);
+    Cycle fill = m.load(0, 0, 0);
+    // SMX 1 shares SMX 0's L1.
+    m.load(1, 0, fill + 1);
+    EXPECT_EQ(m.l1(0).stats().hits, 1u);
+}
+
+TEST(MemSystem, ExportStatsShape)
+{
+    GpuConfig cfg = memConfig();
+    MemSystem m(cfg);
+    m.load(0, 0, 0);
+    GpuStats s;
+    m.exportStats(s);
+    ASSERT_EQ(s.l1.size(), cfg.numSmx);
+    EXPECT_EQ(s.l1[0].misses, 1u);
+    EXPECT_EQ(s.l2.misses, 1u);
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 4 example: 8 parent TBs (P0-P7) on a
+ * 4-SMX GPU holding one TB per SMX; P2 launches 2 children (C0-C1),
+ * P4 launches 4 children (C2-C5). Each policy must produce the
+ * qualitative placement the paper illustrates in Figures 4(b)-(e).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "test_util.hh"
+
+using namespace laperm;
+using namespace laperm::test;
+
+namespace {
+
+struct ExampleRun
+{
+    std::vector<DispatchRecord> records;
+    Cycle totalCycles = 0;
+
+    /** Dispatch record of parent TB with grid index @p ix. */
+    const DispatchRecord *
+    parent(std::uint32_t ix) const
+    {
+        for (const auto &r : records) {
+            if (!r.isDynamic && r.tbIndex == ix)
+                return &r;
+        }
+        return nullptr;
+    }
+
+    /** Children of the parent TB with grid index @p ix. */
+    std::vector<const DispatchRecord *>
+    childrenOf(std::uint32_t ix) const
+    {
+        const DispatchRecord *p = parent(ix);
+        std::vector<const DispatchRecord *> out;
+        for (const auto &r : records) {
+            if (r.isDynamic && r.directParent == p->uid)
+                out.push_back(&r);
+        }
+        return out;
+    }
+};
+
+ExampleRun
+runExample(TbPolicy policy)
+{
+    GpuConfig cfg;
+    cfg.numSmx = 4;
+    cfg.maxThreadsPerSmx = 64;
+    cfg.maxTbsPerSmx = 1; // each SMX holds exactly one TB
+    cfg.regsPerSmx = 16384;
+    cfg.smemPerSmx = 16 * 1024;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 64 * 1024;
+    cfg.l2Assoc = 8;
+    cfg.kduEntries = 8;
+    cfg.dynParModel = DynParModel::DTBL;
+    cfg.dtblLaunchLatency = 5;
+    cfg.launchIssueCycles = 4;
+    cfg.tbPolicy = policy;
+
+    auto child = std::make_shared<LambdaProgram>(
+        "child", allocateFunctionId(),
+        [](ThreadCtx &c) { c.alu(200); });
+    auto parent = std::make_shared<LambdaProgram>(
+        "parent", allocateFunctionId(), [child](ThreadCtx &c) {
+            if (c.threadIndex() == 0 && c.tbIndex() == 2)
+                c.launch({child, 2, 32});
+            if (c.threadIndex() == 0 && c.tbIndex() == 4)
+                c.launch({child, 4, 32});
+            c.alu(200);
+        });
+
+    Gpu gpu(cfg);
+    DispatchRecorder rec(gpu);
+    gpu.launchHostKernel({parent, 8, 32});
+    gpu.runToIdle();
+
+    ExampleRun run;
+    run.records = rec.records;
+    run.totalCycles = gpu.stats().cycles;
+    return run;
+}
+
+} // namespace
+
+TEST(PaperExample, AllPoliciesExecuteEveryTb)
+{
+    for (TbPolicy p : {TbPolicy::RR, TbPolicy::TbPri, TbPolicy::SmxBind,
+                       TbPolicy::AdaptiveBind}) {
+        ExampleRun run = runExample(p);
+        EXPECT_EQ(run.records.size(), 14u) << toString(p);
+        std::set<TbUid> uids;
+        for (const auto &r : run.records)
+            uids.insert(r.uid);
+        EXPECT_EQ(uids.size(), 14u) << toString(p);
+    }
+}
+
+TEST(PaperExample, RrDispatchesChildrenAfterAllParents)
+{
+    ExampleRun run = runExample(TbPolicy::RR);
+    Cycle last_parent = 0, first_child = kNoCycle;
+    for (const auto &r : run.records) {
+        if (r.isDynamic)
+            first_child = std::min(first_child, r.cycle);
+        else
+            last_parent = std::max(last_parent, r.cycle);
+    }
+    EXPECT_GT(first_child, last_parent);
+}
+
+TEST(PaperExample, RrSpreadsChildrenAcrossSmxs)
+{
+    ExampleRun run = runExample(TbPolicy::RR);
+    std::set<SmxId> child_smxs;
+    for (const auto &r : run.records) {
+        if (r.isDynamic)
+            child_smxs.insert(r.smx);
+    }
+    EXPECT_GE(child_smxs.size(), 3u);
+}
+
+TEST(PaperExample, TbPriDispatchesChildrenBeforeTrailingParents)
+{
+    // Figure 4(c): C0-C5 all run before P6 and P7.
+    ExampleRun run = runExample(TbPolicy::TbPri);
+    Cycle last_child = 0;
+    for (const auto &r : run.records) {
+        if (r.isDynamic)
+            last_child = std::max(last_child, r.cycle);
+    }
+    EXPECT_LT(last_child, run.parent(6)->cycle);
+    EXPECT_LT(last_child, run.parent(7)->cycle);
+}
+
+TEST(PaperExample, TbPriAssignsChildPriorityOne)
+{
+    ExampleRun run = runExample(TbPolicy::TbPri);
+    for (const auto &r : run.records)
+        EXPECT_EQ(r.priority, r.isDynamic ? 1u : 0u);
+}
+
+TEST(PaperExample, SmxBindPlacesEveryChildWithItsDirectParent)
+{
+    // Figure 4(d): children use the L1 of the parent's SMX.
+    ExampleRun run = runExample(TbPolicy::SmxBind);
+    for (std::uint32_t p : {2u, 4u}) {
+        SmxId parent_smx = run.parent(p)->smx;
+        auto kids = run.childrenOf(p);
+        ASSERT_EQ(kids.size(), p == 2 ? 2u : 4u);
+        for (const auto *k : kids)
+            EXPECT_EQ(k->smx, parent_smx) << "child of P" << p;
+    }
+}
+
+TEST(PaperExample, AdaptiveBindStealsFromOverloadedSmx)
+{
+    // Figure 4(e): P2's children stay bound; at least one of P4's four
+    // children is adopted by an otherwise idle SMX.
+    ExampleRun run = runExample(TbPolicy::AdaptiveBind);
+    SmxId p2_smx = run.parent(2)->smx;
+    for (const auto *k : run.childrenOf(2))
+        EXPECT_EQ(k->smx, p2_smx);
+
+    SmxId p4_smx = run.parent(4)->smx;
+    auto kids4 = run.childrenOf(4);
+    ASSERT_EQ(kids4.size(), 4u);
+    bool any_stolen = false;
+    for (const auto *k : kids4)
+        any_stolen |= (k->smx != p4_smx);
+    EXPECT_TRUE(any_stolen);
+}
+
+TEST(PaperExample, AdaptiveBindFinishesNoLaterThanSmxBind)
+{
+    // Work stealing must repair the imbalance of Figure 4(d).
+    ExampleRun bind = runExample(TbPolicy::SmxBind);
+    ExampleRun adaptive = runExample(TbPolicy::AdaptiveBind);
+    EXPECT_LE(adaptive.totalCycles, bind.totalCycles);
+}
+
+TEST(PaperExample, SmxBindIdlesSmxsThatAdaptiveUses)
+{
+    // The imbalance itself: under SMX-Bind the four children of P4
+    // serialize on one SMX, so the makespan exceeds Adaptive-Bind's.
+    ExampleRun bind = runExample(TbPolicy::SmxBind);
+    ExampleRun adaptive = runExample(TbPolicy::AdaptiveBind);
+    std::map<SmxId, int> bind_tbs;
+    for (const auto &r : bind.records)
+        ++bind_tbs[r.smx];
+    int max_tbs = 0;
+    for (auto &[smx, n] : bind_tbs)
+        max_tbs = std::max(max_tbs, n);
+    std::map<SmxId, int> ad_tbs;
+    for (const auto &r : adaptive.records)
+        ++ad_tbs[r.smx];
+    int ad_max = 0;
+    for (auto &[smx, n] : ad_tbs)
+        ad_max = std::max(ad_max, n);
+    EXPECT_GT(max_tbs, ad_max);
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cross-policy invariants on randomized nested-launch workloads,
+ * parameterized over policy x dynamic-parallelism model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/rng.hh"
+#include "test_util.hh"
+
+using namespace laperm;
+using namespace laperm::test;
+
+namespace {
+
+/** Parent grid where TB i launches (i % 4) children of 2 TBs each. */
+LaunchRequest
+randomNest(std::uint64_t seed, std::uint32_t parent_tbs)
+{
+    auto child = std::make_shared<LambdaProgram>(
+        "child", allocateFunctionId(), [seed](ThreadCtx &c) {
+            Rng r(seed * 977 + c.tbIndex());
+            c.ld(r.nextBounded(1 << 20) * 4, 4);
+            c.alu(static_cast<std::uint32_t>(10 + r.nextBounded(30)));
+        });
+    auto parent = std::make_shared<LambdaProgram>(
+        "parent", allocateFunctionId(), [child, seed](ThreadCtx &c) {
+            Rng r(seed + c.tbIndex());
+            c.alu(static_cast<std::uint32_t>(20 + r.nextBounded(50)));
+            std::uint32_t kids = c.tbIndex() % 4;
+            if (c.threadIndex() < kids)
+                c.launch({child, 2, 32});
+        });
+    return {parent, parent_tbs, 32};
+}
+
+using Param = std::tuple<TbPolicy, DynParModel>;
+
+class PolicyInvariants : public ::testing::TestWithParam<Param>
+{
+};
+
+} // namespace
+
+TEST_P(PolicyInvariants, EveryTbDispatchedExactlyOnce)
+{
+    auto [policy, model] = GetParam();
+    GpuConfig cfg = tinyConfig();
+    cfg.tbPolicy = policy;
+    cfg.dynParModel = model;
+
+    Gpu gpu(cfg);
+    DispatchRecorder rec(gpu);
+    gpu.launchHostKernel(randomNest(7, 12));
+    gpu.runToIdle();
+
+    // 12 parents; TB i launches i%4 children x 2 TBs.
+    std::uint64_t expected_children = 0;
+    for (std::uint32_t i = 0; i < 12; ++i)
+        expected_children += (i % 4) * 2;
+    EXPECT_EQ(rec.records.size(), 12 + expected_children);
+
+    std::set<TbUid> uids;
+    std::uint64_t dynamic = 0;
+    for (const auto &r : rec.records) {
+        uids.insert(r.uid);
+        dynamic += r.isDynamic;
+        EXPECT_LT(r.smx, cfg.numSmx);
+    }
+    EXPECT_EQ(uids.size(), rec.records.size());
+    EXPECT_EQ(dynamic, expected_children);
+    EXPECT_EQ(gpu.stats().dynamicTbs, expected_children);
+}
+
+TEST_P(PolicyInvariants, ChildrenDispatchAfterTheirParent)
+{
+    auto [policy, model] = GetParam();
+    GpuConfig cfg = tinyConfig();
+    cfg.tbPolicy = policy;
+    cfg.dynParModel = model;
+
+    Gpu gpu(cfg);
+    DispatchRecorder rec(gpu);
+    gpu.launchHostKernel(randomNest(13, 10));
+    gpu.runToIdle();
+
+    for (const auto &r : rec.records) {
+        if (!r.isDynamic)
+            continue;
+        const DispatchRecord *parent = rec.byUid(r.directParent);
+        ASSERT_NE(parent, nullptr);
+        EXPECT_GT(r.cycle, parent->cycle);
+    }
+}
+
+TEST_P(PolicyInvariants, SmxUtilizationAccounted)
+{
+    auto [policy, model] = GetParam();
+    GpuConfig cfg = tinyConfig();
+    cfg.tbPolicy = policy;
+    cfg.dynParModel = model;
+
+    Gpu gpu(cfg);
+    gpu.launchHostKernel(randomNest(23, 16));
+    gpu.runToIdle();
+    const GpuStats &s = gpu.stats();
+    EXPECT_GT(s.avgSmxUtilization(), 0.0);
+    EXPECT_LE(s.avgSmxUtilization(), 1.0);
+    std::uint64_t tbs = 0;
+    for (const auto &smx : s.smx)
+        tbs += smx.tbsExecuted;
+    EXPECT_EQ(tbs, 16u + gpu.stats().dynamicTbs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAndModels, PolicyInvariants,
+    ::testing::Combine(
+        ::testing::Values(TbPolicy::RR, TbPolicy::TbPri, TbPolicy::SmxBind,
+                          TbPolicy::AdaptiveBind),
+        ::testing::Values(DynParModel::CDP, DynParModel::DTBL)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string name = toString(std::get<0>(info.param));
+        name += "_";
+        name += toString(std::get<1>(info.param));
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name;
+    });
+
+TEST(PolicySpecifics, SmxBindBindingInvariant)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.tbPolicy = TbPolicy::SmxBind;
+    cfg.dynParModel = DynParModel::DTBL;
+    Gpu gpu(cfg);
+    DispatchRecorder rec(gpu);
+    gpu.launchHostKernel(randomNest(31, 12));
+    gpu.runToIdle();
+    for (const auto &r : rec.records) {
+        if (!r.isDynamic)
+            continue;
+        const DispatchRecord *parent = rec.byUid(r.directParent);
+        ASSERT_NE(parent, nullptr);
+        EXPECT_EQ(r.smx, parent->smx);
+    }
+    EXPECT_EQ(gpu.stats().unboundDispatches, 0u);
+}
+
+TEST(PolicySpecifics, AdaptiveBindAccountsBoundPlusUnbound)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.tbPolicy = TbPolicy::AdaptiveBind;
+    cfg.dynParModel = DynParModel::DTBL;
+    Gpu gpu(cfg);
+    gpu.launchHostKernel(randomNest(37, 12));
+    gpu.runToIdle();
+    const GpuStats &s = gpu.stats();
+    EXPECT_EQ(s.boundDispatches + s.unboundDispatches, s.dynamicTbs);
+}
+
+TEST(PolicySpecifics, QueueOverflowStillCompletes)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.tbPolicy = TbPolicy::AdaptiveBind;
+    cfg.dynParModel = DynParModel::DTBL;
+    cfg.onchipQueueEntries = 1; // force overflow
+    Gpu gpu(cfg);
+    gpu.launchHostKernel(randomNest(41, 16));
+    gpu.runToIdle();
+    EXPECT_GT(gpu.stats().queueOverflows, 0u);
+    EXPECT_EQ(gpu.undispatchedTbs(), 0u);
+}
+
+TEST(PolicySpecifics, RandomBackupPolicyCompletes)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.tbPolicy = TbPolicy::AdaptiveBind;
+    cfg.dynParModel = DynParModel::DTBL;
+    cfg.backupPolicy = BackupPolicy::Random;
+    Gpu gpu(cfg);
+    gpu.launchHostKernel(randomNest(43, 16));
+    gpu.runToIdle();
+    EXPECT_EQ(gpu.activeTbs(), 0u);
+}
+
+TEST(PolicySpecifics, ClusteredBindingTargetsCluster)
+{
+    GpuConfig cfg = tinyConfig();
+    cfg.numSmx = 4;
+    cfg.smxPerCluster = 2; // 2 clusters of 2 SMXs sharing an L1
+    cfg.tbPolicy = TbPolicy::SmxBind;
+    cfg.dynParModel = DynParModel::DTBL;
+    Gpu gpu(cfg);
+    DispatchRecorder rec(gpu);
+    gpu.launchHostKernel(randomNest(47, 8));
+    gpu.runToIdle();
+    for (const auto &r : rec.records) {
+        if (!r.isDynamic)
+            continue;
+        const DispatchRecord *parent = rec.byUid(r.directParent);
+        ASSERT_NE(parent, nullptr);
+        EXPECT_EQ(r.smx / 2, parent->smx / 2); // same cluster
+    }
+}

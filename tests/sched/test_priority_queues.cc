@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sched/priority_queues.hh"
+
+using namespace laperm;
+
+namespace {
+
+DispatchUnit
+makeUnit(std::uint32_t priority, std::uint32_t count = 1)
+{
+    DispatchUnit u;
+    u.priority = priority;
+    u.count = count;
+    u.threadsPerTb = 32;
+    return u;
+}
+
+} // namespace
+
+TEST(PriorityQueues, HighestPriorityFirst)
+{
+    GpuStats stats;
+    PriorityQueues q(4, 0);
+    DispatchUnit a = makeUnit(1), b = makeUnit(3), c = makeUnit(2);
+    q.push(&a, stats);
+    q.push(&b, stats);
+    q.push(&c, stats);
+    bool blocked = false;
+    EXPECT_EQ(q.front(0, blocked), &b);
+}
+
+TEST(PriorityQueues, FcfsWithinLevel)
+{
+    GpuStats stats;
+    PriorityQueues q(4, 0);
+    DispatchUnit a = makeUnit(2), b = makeUnit(2);
+    q.push(&a, stats);
+    q.push(&b, stats);
+    bool blocked = false;
+    EXPECT_EQ(q.front(0, blocked), &a);
+    a.nextTb = a.count; // exhaust
+    EXPECT_EQ(q.front(0, blocked), &b);
+}
+
+TEST(PriorityQueues, PriorityClampsToTopLevel)
+{
+    GpuStats stats;
+    PriorityQueues q(3, 0); // levels 0..2
+    DispatchUnit a = makeUnit(7); // clamped into level 2
+    q.push(&a, stats);
+    bool blocked = false;
+    EXPECT_EQ(q.front(0, blocked), &a);
+}
+
+TEST(PriorityQueues, ExhaustedUnitsPruned)
+{
+    GpuStats stats;
+    PriorityQueues q(4, 0);
+    DispatchUnit a = makeUnit(1);
+    q.push(&a, stats);
+    a.nextTb = a.count;
+    bool blocked = false;
+    EXPECT_EQ(q.front(0, blocked), nullptr);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.entries(), 0u);
+}
+
+TEST(PriorityQueues, DelayedHeadIsInvisibleUntilReady)
+{
+    // An entry still in flight from the overflow buffer has not
+    // arrived: lower-priority ready entries dispatch meanwhile.
+    GpuStats stats;
+    PriorityQueues q(4, 0);
+    DispatchUnit hi = makeUnit(3), lo = makeUnit(1);
+    hi.readyAt = 100;
+    q.push(&hi, stats);
+    q.push(&lo, stats);
+    bool blocked = false;
+    EXPECT_EQ(q.front(50, blocked), &lo);
+    EXPECT_TRUE(blocked); // something is pending above
+    EXPECT_EQ(q.front(100, blocked), &hi);
+    EXPECT_FALSE(blocked);
+}
+
+TEST(PriorityQueues, OverflowDelaysVisibility)
+{
+    GpuStats stats;
+    PriorityQueues q(4, 1);
+    DispatchUnit a = makeUnit(1), b = makeUnit(1);
+    q.push(&a, stats, 10, 350);
+    q.push(&b, stats, 10, 350); // spills: visible at 360
+    EXPECT_FALSE(a.overflowed);
+    EXPECT_TRUE(b.overflowed);
+    EXPECT_EQ(b.readyAt, 360u);
+    EXPECT_EQ(q.nextReadyAt(10), 360u);
+    a.nextTb = a.count;
+    bool blocked = false;
+    EXPECT_EQ(q.front(100, blocked), nullptr);
+    EXPECT_TRUE(blocked);
+    EXPECT_EQ(q.front(360, blocked), &b);
+}
+
+TEST(PriorityQueues, OverflowBeyondCapacity)
+{
+    GpuStats stats;
+    PriorityQueues q(4, 2);
+    DispatchUnit a = makeUnit(1), b = makeUnit(1), c = makeUnit(1);
+    q.push(&a, stats);
+    q.push(&b, stats);
+    EXPECT_FALSE(a.overflowed);
+    EXPECT_FALSE(b.overflowed);
+    q.push(&c, stats);
+    EXPECT_TRUE(c.overflowed);
+    EXPECT_EQ(stats.queueOverflows, 1u);
+}
+
+TEST(PriorityQueues, EmptyReflectsRemainingWork)
+{
+    GpuStats stats;
+    PriorityQueues q(2, 0);
+    EXPECT_TRUE(q.empty());
+    DispatchUnit a = makeUnit(1, 3);
+    q.push(&a, stats);
+    EXPECT_FALSE(q.empty());
+    a.nextTb = 3;
+    EXPECT_TRUE(q.empty());
+}

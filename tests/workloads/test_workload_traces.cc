@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Structural validation of the workload-generated traces against the
+ * reference CPU results: launch counts, wave shapes and footprint
+ * regions must match what the functional algorithms dictate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/footprint.hh"
+#include "graph/algorithms.hh"
+#include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
+#include "workloads/graph_common.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+namespace {
+
+/** Count device launches emitted by one wave's host TBs (one level). */
+std::uint64_t
+countWaveLaunches(const LaunchRequest &wave)
+{
+    std::uint64_t launches = 0;
+    for (std::uint32_t tb = 0; tb < wave.numTbs; ++tb) {
+        for (std::uint32_t t = 0; t < wave.threadsPerTb; ++t) {
+            ThreadCtx ctx(tb, t, wave.threadsPerTb, wave.numTbs);
+            wave.program->emitThread(ctx);
+            launches += ctx.launches().size();
+        }
+    }
+    return launches;
+}
+
+} // namespace
+
+TEST(WorkloadTraces, BfsLaunchesMatchHeavyFrontierVertices)
+{
+    // Rebuild the same graph/BFS the workload uses and check that each
+    // wave launches exactly one child per frontier vertex above the
+    // spawn threshold.
+    auto w = createWorkload("bfs-citation");
+    w->setup(Scale::Tiny, 1);
+
+    Csr csr = buildGraphInput("citation", Scale::Tiny, 1);
+    BfsResult ref = bfs(csr, pickSource(csr));
+
+    const auto &waves = w->waves();
+    for (std::size_t lvl = 0; lvl < waves.size(); ++lvl) {
+        std::uint64_t heavy = 0;
+        for (std::uint32_t u : ref.frontiers[lvl])
+            heavy += csr.degree(u) > kSpawnDegree;
+        EXPECT_EQ(countWaveLaunches(waves[lvl]), heavy)
+            << "level " << lvl;
+        EXPECT_EQ(waves[lvl].numTbs,
+                  (ref.frontiers[lvl].size() + kGraphTbThreads - 1) /
+                      kGraphTbThreads);
+    }
+}
+
+TEST(WorkloadTraces, SsspWaveSizesMatchActiveRounds)
+{
+    auto w = createWorkload("sssp-cage");
+    w->setup(Scale::Tiny, 1);
+
+    Csr csr = buildGraphInput("cage", Scale::Tiny, 1);
+    auto weights = genEdgeWeights(csr, 64, 1 ^ 0x55);
+    SsspResult ref = sssp(csr, weights, pickSource(csr), 4);
+
+    const auto &waves = w->waves();
+    ASSERT_LE(waves.size(), ref.rounds.size());
+    for (std::size_t r = 0; r < waves.size(); ++r) {
+        EXPECT_EQ(waves[r].numTbs,
+                  (ref.rounds[r].size() + kGraphTbThreads - 1) /
+                      kGraphTbThreads);
+    }
+}
+
+TEST(WorkloadTraces, AmrChildrenMatchFlaggedCells)
+{
+    auto w = createWorkload("amr-combustion");
+    w->setup(Scale::Tiny, 1);
+    FootprintReport rep = analyzeFootprint(*w);
+    // Level-1 launches come from flagged cells; level-2 from ~1/3 of
+    // the level-1 patches. Every direct parent is either a flag-kernel
+    // TB or a refine1 TB.
+    EXPECT_GT(rep.deviceLaunches, 0u);
+    EXPECT_GT(rep.childTbs, rep.deviceLaunches)
+        << "patches are multi-TB groups";
+}
+
+TEST(WorkloadTraces, RegxLaunchRateTracksPrefilterProbability)
+{
+    auto darpa = createWorkload("regx-darpa");
+    darpa->setup(Scale::Tiny, 1);
+    auto strings = createWorkload("regx-strings");
+    strings->setup(Scale::Tiny, 1);
+    FootprintReport rd = analyzeFootprint(*darpa);
+    FootprintReport rs = analyzeFootprint(*strings);
+    // 600 packets each; darpa averages ~24% hits (0.8 in bursts of
+    // 1-in-5, 0.1 otherwise), strings 30%.
+    EXPECT_GT(rd.deviceLaunches, 600u / 10);
+    EXPECT_LT(rd.deviceLaunches, 600u / 2);
+    EXPECT_NEAR(static_cast<double>(rs.deviceLaunches) / 600.0, 0.30,
+                0.08);
+}
+
+TEST(WorkloadTraces, JoinGaussianSkewsChildTbsMoreThanUniform)
+{
+    // Small scale: the gaussian key distribution concentrates tuples
+    // into few heavy buckets, so each launch carries more TBs than
+    // under the uniform distribution.
+    auto uni = createWorkload("join-uniform");
+    uni->setup(Scale::Small, 1);
+    auto gau = createWorkload("join-gaussian");
+    gau->setup(Scale::Small, 1);
+    FootprintReport ru = analyzeFootprint(*uni);
+    FootprintReport rg = analyzeFootprint(*gau);
+    ASSERT_GT(ru.deviceLaunches, 0u);
+    ASSERT_GT(rg.deviceLaunches, 0u);
+    // Skew shows up as launch concentration: under the gaussian keys
+    // only the probe TBs covering the distribution's center launch
+    // children (the imbalance that stresses SMX-Bind), while the
+    // uniform input makes nearly every probe TB a launcher.
+    double launching_frac_u =
+        static_cast<double>(ru.directParents) / uni->waves()[2].numTbs;
+    double launching_frac_g =
+        static_cast<double>(rg.directParents) / gau->waves()[2].numTbs;
+    EXPECT_LT(launching_frac_g, launching_frac_u * 0.7);
+}
+
+TEST(WorkloadTraces, AllWorkloadsTouchOnlyAllocatedMemory)
+{
+    // Every line referenced by any TB must fall inside a region the
+    // workload allocated (no stray addresses).
+    for (const auto &name : workloadNames()) {
+        auto w = createWorkload(name);
+        w->setup(Scale::Tiny, 1);
+        Addr hi = 0x10000000ull + w->footprintBytes() + (1u << 20);
+        for (const auto &wave : w->waves()) {
+            // Sample the first TB of each wave.
+            for (std::uint32_t t = 0; t < wave.threadsPerTb; ++t) {
+                ThreadCtx ctx(0, t, wave.threadsPerTb, wave.numTbs);
+                wave.program->emitThread(ctx);
+                for (const ThreadOp &op : ctx.ops()) {
+                    if (op.kind != OpKind::Load &&
+                        op.kind != OpKind::Store) {
+                        continue;
+                    }
+                    EXPECT_GE(op.addr, 0x10000000ull) << name;
+                    EXPECT_LT(op.addr, hi) << name;
+                }
+            }
+        }
+    }
+}
