@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tb_throttle.dir/bench_ablation_tb_throttle.cc.o"
+  "CMakeFiles/bench_ablation_tb_throttle.dir/bench_ablation_tb_throttle.cc.o.d"
+  "bench_ablation_tb_throttle"
+  "bench_ablation_tb_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tb_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

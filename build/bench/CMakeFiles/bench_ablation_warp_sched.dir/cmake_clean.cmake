@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_warp_sched.dir/bench_ablation_warp_sched.cc.o"
+  "CMakeFiles/bench_ablation_warp_sched.dir/bench_ablation_warp_sched.cc.o.d"
+  "bench_ablation_warp_sched"
+  "bench_ablation_warp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_warp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

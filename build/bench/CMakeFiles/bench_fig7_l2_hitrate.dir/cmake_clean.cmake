@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_l2_hitrate.dir/bench_fig7_l2_hitrate.cc.o"
+  "CMakeFiles/bench_fig7_l2_hitrate.dir/bench_fig7_l2_hitrate.cc.o.d"
+  "bench_fig7_l2_hitrate"
+  "bench_fig7_l2_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_l2_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

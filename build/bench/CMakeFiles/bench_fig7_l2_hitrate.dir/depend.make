@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_l2_hitrate.
+# This may be replaced when dependencies are built.

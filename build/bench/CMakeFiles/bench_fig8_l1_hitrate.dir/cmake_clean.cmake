@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_l1_hitrate.dir/bench_fig8_l1_hitrate.cc.o"
+  "CMakeFiles/bench_fig8_l1_hitrate.dir/bench_fig8_l1_hitrate.cc.o.d"
+  "bench_fig8_l1_hitrate"
+  "bench_fig8_l1_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_l1_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_launch_latency.dir/bench_launch_latency.cc.o"
+  "CMakeFiles/bench_launch_latency.dir/bench_launch_latency.cc.o.d"
+  "bench_launch_latency"
+  "bench_launch_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_launch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

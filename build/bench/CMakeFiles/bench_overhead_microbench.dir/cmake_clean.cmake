@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_microbench.dir/bench_overhead_microbench.cc.o"
+  "CMakeFiles/bench_overhead_microbench.dir/bench_overhead_microbench.cc.o.d"
+  "bench_overhead_microbench"
+  "bench_overhead_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

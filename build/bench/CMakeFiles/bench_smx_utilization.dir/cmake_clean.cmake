@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smx_utilization.dir/bench_smx_utilization.cc.o"
+  "CMakeFiles/bench_smx_utilization.dir/bench_smx_utilization.cc.o.d"
+  "bench_smx_utilization"
+  "bench_smx_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smx_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

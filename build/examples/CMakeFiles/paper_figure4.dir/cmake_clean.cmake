@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figure4.dir/paper_figure4.cpp.o"
+  "CMakeFiles/paper_figure4.dir/paper_figure4.cpp.o.d"
+  "paper_figure4"
+  "paper_figure4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figure4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_analysis.dir/analysis/footprint.cc.o"
+  "CMakeFiles/laperm_analysis.dir/analysis/footprint.cc.o.d"
+  "liblaperm_analysis.a"
+  "liblaperm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_base.dir/common/bump_alloc.cc.o"
+  "CMakeFiles/laperm_base.dir/common/bump_alloc.cc.o.d"
+  "CMakeFiles/laperm_base.dir/common/log.cc.o"
+  "CMakeFiles/laperm_base.dir/common/log.cc.o.d"
+  "CMakeFiles/laperm_base.dir/common/rng.cc.o"
+  "CMakeFiles/laperm_base.dir/common/rng.cc.o.d"
+  "CMakeFiles/laperm_base.dir/sim/config.cc.o"
+  "CMakeFiles/laperm_base.dir/sim/config.cc.o.d"
+  "CMakeFiles/laperm_base.dir/sim/stats.cc.o"
+  "CMakeFiles/laperm_base.dir/sim/stats.cc.o.d"
+  "liblaperm_base.a"
+  "liblaperm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblaperm_base.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynpar/launcher.cc" "src/CMakeFiles/laperm_gpu.dir/dynpar/launcher.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/dynpar/launcher.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/kdu.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/kdu.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/kdu.cc.o.d"
+  "/root/repo/src/gpu/kmu.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/kmu.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/kmu.cc.o.d"
+  "/root/repo/src/gpu/smx.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/smx.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/smx.cc.o.d"
+  "/root/repo/src/gpu/thread_block.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/thread_block.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/thread_block.cc.o.d"
+  "/root/repo/src/gpu/trace.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/trace.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/trace.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/warp.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/warp.cc.o.d"
+  "/root/repo/src/gpu/warp_scheduler.cc" "src/CMakeFiles/laperm_gpu.dir/gpu/warp_scheduler.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/gpu/warp_scheduler.cc.o.d"
+  "/root/repo/src/sched/adaptive_bind_scheduler.cc" "src/CMakeFiles/laperm_gpu.dir/sched/adaptive_bind_scheduler.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/sched/adaptive_bind_scheduler.cc.o.d"
+  "/root/repo/src/sched/dispatch_unit.cc" "src/CMakeFiles/laperm_gpu.dir/sched/dispatch_unit.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/sched/dispatch_unit.cc.o.d"
+  "/root/repo/src/sched/priority_queues.cc" "src/CMakeFiles/laperm_gpu.dir/sched/priority_queues.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/sched/priority_queues.cc.o.d"
+  "/root/repo/src/sched/rr_scheduler.cc" "src/CMakeFiles/laperm_gpu.dir/sched/rr_scheduler.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/sched/rr_scheduler.cc.o.d"
+  "/root/repo/src/sched/smx_bind_scheduler.cc" "src/CMakeFiles/laperm_gpu.dir/sched/smx_bind_scheduler.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/sched/smx_bind_scheduler.cc.o.d"
+  "/root/repo/src/sched/tb_pri_scheduler.cc" "src/CMakeFiles/laperm_gpu.dir/sched/tb_pri_scheduler.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/sched/tb_pri_scheduler.cc.o.d"
+  "/root/repo/src/sched/tb_scheduler.cc" "src/CMakeFiles/laperm_gpu.dir/sched/tb_scheduler.cc.o" "gcc" "src/CMakeFiles/laperm_gpu.dir/sched/tb_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/laperm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for laperm_gpu.
+# This may be replaced when dependencies are built.

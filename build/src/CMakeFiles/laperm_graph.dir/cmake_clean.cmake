@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/laperm_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/laperm_graph.dir/graph/csr.cc.o"
+  "CMakeFiles/laperm_graph.dir/graph/csr.cc.o.d"
+  "CMakeFiles/laperm_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/laperm_graph.dir/graph/generators.cc.o.d"
+  "liblaperm_graph.a"
+  "liblaperm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

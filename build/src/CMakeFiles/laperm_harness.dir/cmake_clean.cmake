@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/laperm_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/laperm_harness.dir/harness/table.cc.o"
+  "CMakeFiles/laperm_harness.dir/harness/table.cc.o.d"
+  "liblaperm_harness.a"
+  "liblaperm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

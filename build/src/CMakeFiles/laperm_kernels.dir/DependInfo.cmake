@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/kernel_program.cc" "src/CMakeFiles/laperm_kernels.dir/kernels/kernel_program.cc.o" "gcc" "src/CMakeFiles/laperm_kernels.dir/kernels/kernel_program.cc.o.d"
+  "/root/repo/src/kernels/thread_ctx.cc" "src/CMakeFiles/laperm_kernels.dir/kernels/thread_ctx.cc.o" "gcc" "src/CMakeFiles/laperm_kernels.dir/kernels/thread_ctx.cc.o.d"
+  "/root/repo/src/kernels/warp_trace.cc" "src/CMakeFiles/laperm_kernels.dir/kernels/warp_trace.cc.o" "gcc" "src/CMakeFiles/laperm_kernels.dir/kernels/warp_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/laperm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_kernels.dir/kernels/kernel_program.cc.o"
+  "CMakeFiles/laperm_kernels.dir/kernels/kernel_program.cc.o.d"
+  "CMakeFiles/laperm_kernels.dir/kernels/thread_ctx.cc.o"
+  "CMakeFiles/laperm_kernels.dir/kernels/thread_ctx.cc.o.d"
+  "CMakeFiles/laperm_kernels.dir/kernels/warp_trace.cc.o"
+  "CMakeFiles/laperm_kernels.dir/kernels/warp_trace.cc.o.d"
+  "liblaperm_kernels.a"
+  "liblaperm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/laperm_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/laperm_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/laperm_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/laperm_mem.dir/mem/mem_system.cc.o"
+  "CMakeFiles/laperm_mem.dir/mem/mem_system.cc.o.d"
+  "liblaperm_mem.a"
+  "liblaperm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_sim.dir/tools/laperm_sim.cc.o"
+  "CMakeFiles/laperm_sim.dir/tools/laperm_sim.cc.o.d"
+  "laperm_sim"
+  "laperm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/amr.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/amr.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/amr.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/bht.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/bht.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/bht.cc.o.d"
+  "/root/repo/src/workloads/clr.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/clr.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/clr.cc.o.d"
+  "/root/repo/src/workloads/graph_common.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/graph_common.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/graph_common.cc.o.d"
+  "/root/repo/src/workloads/join.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/join.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/join.cc.o.d"
+  "/root/repo/src/workloads/pre.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/pre.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/pre.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/regx.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/regx.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/regx.cc.o.d"
+  "/root/repo/src/workloads/sssp.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/sssp.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/sssp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/laperm_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/laperm_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/laperm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laperm_workloads.dir/workloads/amr.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/amr.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/bfs.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/bfs.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/bht.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/bht.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/clr.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/clr.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/graph_common.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/graph_common.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/join.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/join.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/pre.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/pre.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/regx.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/regx.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/sssp.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/sssp.cc.o.d"
+  "CMakeFiles/laperm_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/laperm_workloads.dir/workloads/workload.cc.o.d"
+  "liblaperm_workloads.a"
+  "liblaperm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laperm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

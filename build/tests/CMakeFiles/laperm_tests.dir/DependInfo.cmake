@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_footprint.cc" "tests/CMakeFiles/laperm_tests.dir/analysis/test_footprint.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/analysis/test_footprint.cc.o.d"
+  "/root/repo/tests/common/test_bump_alloc.cc" "tests/CMakeFiles/laperm_tests.dir/common/test_bump_alloc.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/common/test_bump_alloc.cc.o.d"
+  "/root/repo/tests/common/test_rng.cc" "tests/CMakeFiles/laperm_tests.dir/common/test_rng.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/common/test_rng.cc.o.d"
+  "/root/repo/tests/dynpar/test_launcher.cc" "tests/CMakeFiles/laperm_tests.dir/dynpar/test_launcher.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/dynpar/test_launcher.cc.o.d"
+  "/root/repo/tests/gpu/test_extensions.cc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_extensions.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_extensions.cc.o.d"
+  "/root/repo/tests/gpu/test_gpu_basic.cc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_gpu_basic.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_gpu_basic.cc.o.d"
+  "/root/repo/tests/gpu/test_kdu.cc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_kdu.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_kdu.cc.o.d"
+  "/root/repo/tests/gpu/test_kmu.cc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_kmu.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_kmu.cc.o.d"
+  "/root/repo/tests/gpu/test_smx.cc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_smx.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_smx.cc.o.d"
+  "/root/repo/tests/gpu/test_trace.cc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_trace.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_trace.cc.o.d"
+  "/root/repo/tests/gpu/test_warp_scheduler.cc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_warp_scheduler.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/gpu/test_warp_scheduler.cc.o.d"
+  "/root/repo/tests/graph/test_algorithms.cc" "tests/CMakeFiles/laperm_tests.dir/graph/test_algorithms.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/graph/test_algorithms.cc.o.d"
+  "/root/repo/tests/graph/test_csr.cc" "tests/CMakeFiles/laperm_tests.dir/graph/test_csr.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/graph/test_csr.cc.o.d"
+  "/root/repo/tests/graph/test_generators.cc" "tests/CMakeFiles/laperm_tests.dir/graph/test_generators.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/graph/test_generators.cc.o.d"
+  "/root/repo/tests/harness/test_harness.cc" "tests/CMakeFiles/laperm_tests.dir/harness/test_harness.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/harness/test_harness.cc.o.d"
+  "/root/repo/tests/integration/test_determinism.cc" "tests/CMakeFiles/laperm_tests.dir/integration/test_determinism.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/integration/test_determinism.cc.o.d"
+  "/root/repo/tests/integration/test_locality.cc" "tests/CMakeFiles/laperm_tests.dir/integration/test_locality.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/integration/test_locality.cc.o.d"
+  "/root/repo/tests/kernels/test_thread_ctx.cc" "tests/CMakeFiles/laperm_tests.dir/kernels/test_thread_ctx.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/kernels/test_thread_ctx.cc.o.d"
+  "/root/repo/tests/kernels/test_warp_trace.cc" "tests/CMakeFiles/laperm_tests.dir/kernels/test_warp_trace.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/kernels/test_warp_trace.cc.o.d"
+  "/root/repo/tests/mem/test_cache.cc" "tests/CMakeFiles/laperm_tests.dir/mem/test_cache.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/mem/test_cache.cc.o.d"
+  "/root/repo/tests/mem/test_cache_param.cc" "tests/CMakeFiles/laperm_tests.dir/mem/test_cache_param.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/mem/test_cache_param.cc.o.d"
+  "/root/repo/tests/mem/test_dram.cc" "tests/CMakeFiles/laperm_tests.dir/mem/test_dram.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/mem/test_dram.cc.o.d"
+  "/root/repo/tests/mem/test_mem_system.cc" "tests/CMakeFiles/laperm_tests.dir/mem/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/mem/test_mem_system.cc.o.d"
+  "/root/repo/tests/sched/test_paper_example.cc" "tests/CMakeFiles/laperm_tests.dir/sched/test_paper_example.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/sched/test_paper_example.cc.o.d"
+  "/root/repo/tests/sched/test_policies.cc" "tests/CMakeFiles/laperm_tests.dir/sched/test_policies.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/sched/test_policies.cc.o.d"
+  "/root/repo/tests/sched/test_priority_queues.cc" "tests/CMakeFiles/laperm_tests.dir/sched/test_priority_queues.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/sched/test_priority_queues.cc.o.d"
+  "/root/repo/tests/sim/test_config.cc" "tests/CMakeFiles/laperm_tests.dir/sim/test_config.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/sim/test_config.cc.o.d"
+  "/root/repo/tests/workloads/test_workload_traces.cc" "tests/CMakeFiles/laperm_tests.dir/workloads/test_workload_traces.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/workloads/test_workload_traces.cc.o.d"
+  "/root/repo/tests/workloads/test_workloads.cc" "tests/CMakeFiles/laperm_tests.dir/workloads/test_workloads.cc.o" "gcc" "tests/CMakeFiles/laperm_tests.dir/workloads/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/laperm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/laperm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
