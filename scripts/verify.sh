@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: Release build + full test suite, then a
+# ThreadSanitizer pass over the concurrent sweep harness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# 1. Release build + full ctest run (the tier-1 command).
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+# 2. ThreadSanitizer configuration for the concurrent harness tests.
+#    Only the gtest-free smoke binary runs here so every linked object
+#    is instrumented (gtest/benchmark from the system are not).
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAPERM_TSAN=ON
+cmake --build build-tsan -j --target harness_parallel_smoke
+(cd build-tsan && ctest --output-on-failure -R '^harness_parallel_smoke$')
+
+echo "verify.sh: all checks passed"

@@ -2,23 +2,32 @@
 
 #include <cstdarg>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace laperm {
 
 namespace {
 bool g_verbose = true;
+/**
+ * Serializes stderr emission: the sweep executor calls inform/warn
+ * from worker threads, and interleaved vfprintf output (or a torn
+ * verbose-flag read) must not corrupt the log.
+ */
+std::mutex g_logMutex;
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
+    std::lock_guard<std::mutex> lock(g_logMutex);
     g_verbose = verbose;
 }
 
 bool
 verbose()
 {
+    std::lock_guard<std::mutex> lock(g_logMutex);
     return g_verbose;
 }
 
@@ -44,6 +53,8 @@ logFormat(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // No lock: abort() must not block on a logging thread, and a torn
+    // line during a crash beats a deadlocked one.
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -58,12 +69,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(g_logMutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(g_logMutex);
     if (g_verbose)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }

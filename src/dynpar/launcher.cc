@@ -34,6 +34,8 @@ Launcher::hostLaunch(const LaunchRequest &req, Cycle now)
     unit->firstTb = 0;
     unit->count = req.numTbs;
     unit->threadsPerTb = req.threadsPerTb;
+    unit->regsPerTb = req.program->regsPerThread() * req.threadsPerTb;
+    unit->smemPerTb = req.program->smemPerTb();
     unit->priority = 0;
     unit->readyAt = now;
     undispatchedTbs_ += req.numTbs;
@@ -70,6 +72,9 @@ Launcher::makeUnit(KernelInstance *kernel, std::uint32_t first_tb,
     unit->firstTb = first_tb;
     unit->count = launch.req.numTbs;
     unit->threadsPerTb = launch.req.threadsPerTb;
+    unit->regsPerTb =
+        launch.req.program->regsPerThread() * launch.req.threadsPerTb;
+    unit->smemPerTb = launch.req.program->smemPerTb();
     unit->priority = launch.priority;
     unit->directParent = launch.directParent;
     unit->boundSmx = launch.parentSmx;

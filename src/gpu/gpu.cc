@@ -16,6 +16,8 @@ Gpu::Gpu(const GpuConfig &cfg)
     for (SmxId i = 0; i < cfg_.numSmx; ++i)
         smxs_.push_back(std::make_unique<Smx>(i, cfg_, mem_, *this));
     stats_.smx.resize(cfg_.numSmx);
+    activeSmxs_.reserve(cfg_.numSmx);
+    smxActive_.assign(cfg_.numSmx, false);
 }
 
 Gpu::~Gpu() = default;
@@ -40,13 +42,49 @@ Gpu::idle() const
 }
 
 void
+Gpu::noteSmxBusy(SmxId id)
+{
+    if (smxActive_[id])
+        return;
+    smxActive_[id] = true;
+    activeSmxs_.insert(
+        std::lower_bound(activeSmxs_.begin(), activeSmxs_.end(), id),
+        id);
+}
+
+void
 Gpu::tick()
 {
     bool launched = launcher_->tick(cycle_);
     bool dispatched = sched_->dispatchOne(cycle_);
     bool progress = launched || dispatched;
-    for (auto &smx : smxs_)
-        progress |= smx->tick(cycle_);
+
+    // Tick only SMXs with resident TBs (ticking a drained SMX is a
+    // no-op), compacting ones that drained this cycle. dispatchOne
+    // above is the only way an SMX gains work, so the list is stable
+    // during this loop.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < activeSmxs_.size(); ++i) {
+        const SmxId id = activeSmxs_[i];
+        Smx &smx = *smxs_[id];
+        progress |= smx.tick(cycle_);
+        if (smx.drained())
+            smxActive_[id] = false;
+        else
+            activeSmxs_[out++] = id;
+    }
+    activeSmxs_.resize(out);
+
+    // Periodically drop MSHR entries no cache client can merge with
+    // anymore. cycle_ lower-bounds every future access timestamp (LSU
+    // issue and downstream latencies only add to it), so trimming at
+    // the device clock is invisible to the timing model — unlike
+    // trimming at access time, where out-of-order L2 timestamps would
+    // turn some merges into misses.
+    if (cycle_ >= nextMshrTrimAt_) {
+        mem_.trimMshrs(cycle_);
+        nextMshrTrimAt_ = cycle_ + kMshrTrimInterval;
+    }
 
     if (progress) {
         ++cycle_;
@@ -56,8 +94,8 @@ Gpu::tick()
     // Nothing happened: jump to the next event (warp wakeup, launch
     // readiness, or an overflow-fetch completion).
     Cycle next = kNoCycle;
-    for (const auto &smx : smxs_)
-        next = std::min(next, smx->nextEventAt(cycle_));
+    for (SmxId id : activeSmxs_)
+        next = std::min(next, smxs_[id]->nextEventAt(cycle_));
     next = std::min(next, launcher_->nextReadyAt(cycle_));
     next = std::min(next, sched_->nextReadyAt(cycle_));
     if (next == kNoCycle || next <= cycle_)
@@ -105,11 +143,8 @@ Gpu::stats()
 bool
 Gpu::fits(SmxId smx, const DispatchUnit &unit) const
 {
-    const std::uint32_t threads = unit.threadsPerTb;
-    const std::uint32_t regs =
-        unit.program->regsPerThread() * threads;
-    const std::uint32_t smem = unit.program->smemPerTb();
-    return smxs_[smx]->canAccommodate(threads, regs, smem);
+    return smxs_[smx]->canAccommodate(unit.threadsPerTb, unit.regsPerTb,
+                                      unit.smemPerTb);
 }
 
 void
@@ -137,6 +172,10 @@ Gpu::dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now)
         dispatchHook_(dispatchHookCtx_, *tb);
     }
     smxs_[smx]->acceptTb(std::move(tb), now);
+    // A TB whose warps are all empty completes inside acceptTb; only
+    // track the SMX while it actually holds work.
+    if (!smxs_[smx]->drained())
+        noteSmxBusy(smx);
 }
 
 void

@@ -86,6 +86,7 @@ class Gpu : public SmxCallbacks, public DispatchContext
   private:
     void tick();
     bool idle() const;
+    void noteSmxBusy(SmxId id);
 
     GpuConfig cfg_;
     MemSystem mem_;
@@ -93,6 +94,19 @@ class Gpu : public SmxCallbacks, public DispatchContext
     std::unique_ptr<TbScheduler> sched_;
     std::unique_ptr<Launcher> launcher_;
     std::vector<std::unique_ptr<Smx>> smxs_;
+
+    /**
+     * SMXs with resident TBs, ascending. Only these are ticked and
+     * scanned for the next event; most SMXs idle through the tail of a
+     * wave, so this keeps the per-cycle cost proportional to live work.
+     * Kept sorted so tick order matches the full 0..N-1 scan exactly.
+     */
+    std::vector<SmxId> activeSmxs_;
+    std::vector<bool> smxActive_;
+
+    /** Amortized MSHR garbage collection (see tick()). */
+    static constexpr Cycle kMshrTrimInterval = 4096;
+    Cycle nextMshrTrimAt_ = 0;
 
     GpuStats stats_;
     Cycle cycle_ = 0;

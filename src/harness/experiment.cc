@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -7,6 +8,7 @@
 
 #include "common/log.hh"
 #include "gpu/gpu.hh"
+#include "harness/thread_pool.hh"
 #include "workloads/registry.hh"
 
 namespace laperm {
@@ -138,11 +140,13 @@ saveCache(const std::string &path, const std::vector<RunResult> &rows)
 
 std::vector<RunResult>
 runMatrix(const std::vector<std::string> &names, Scale scale,
-          std::uint64_t seed, bool use_cache)
+          std::uint64_t seed, bool use_cache, unsigned jobs)
 {
     const char *no_cache = std::getenv("LAPERM_NO_CACHE");
     if (no_cache && *no_cache == '1')
         use_cache = false;
+    if (jobs == 0)
+        jobs = ThreadPool::defaultJobs();
 
     const std::string path = cachePath(scale, seed);
     std::vector<RunResult> results;
@@ -150,24 +154,60 @@ runMatrix(const std::vector<std::string> &names, Scale scale,
         return results;
     results.clear();
 
-    for (const auto &name : names) {
-        auto workload = createWorkload(name);
-        workload->setup(scale, seed);
-        for (DynParModel model : kModels) {
-            for (TbPolicy policy : kPolicies) {
-                GpuConfig cfg = paperConfig();
-                cfg.dynParModel = model;
-                cfg.tbPolicy = policy;
-                cfg.seed = seed;
-                results.push_back(runOne(*workload, cfg));
-                laperm_inform("%s %s/%s: ipc=%.2f l1=%.3f l2=%.3f",
-                              name.c_str(), toString(model),
-                              toString(policy), results.back().ipc,
-                              results.back().l1HitRate,
-                              results.back().l2HitRate);
+    constexpr std::size_t kNumModels = std::size(kModels);
+    constexpr std::size_t kNumPolicies = std::size(kPolicies);
+    const std::size_t cellsPerWorkload = kNumModels * kNumPolicies;
+
+    // Phase 1: input generation, one job per workload. Workloads are
+    // immutable after setup() (traces const, programs const), so the
+    // cell jobs below const-borrow them concurrently.
+    std::vector<std::unique_ptr<Workload>> workloads(names.size());
+    {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(jobs, std::max<std::size_t>(
+                                            names.size(), 1))));
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            pool.submit([&, i] {
+                auto w = createWorkload(names[i]);
+                w->setup(scale, seed);
+                workloads[i] = std::move(w);
+            });
+        }
+        pool.wait();
+    }
+
+    // Phase 2: one job per (workload x model x policy) cell. Every
+    // cell owns its own Gpu instance and writes to a preassigned slot,
+    // so the result vector — and therefore the TSV cache — is
+    // byte-identical no matter how many workers raced to fill it.
+    results.resize(names.size() * cellsPerWorkload);
+    {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(jobs, results.size())));
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            for (std::size_t mi = 0; mi < kNumModels; ++mi) {
+                for (std::size_t pi = 0; pi < kNumPolicies; ++pi) {
+                    const std::size_t slot =
+                        i * cellsPerWorkload + mi * kNumPolicies + pi;
+                    pool.submit([&, i, mi, pi, slot] {
+                        GpuConfig cfg = paperConfig();
+                        cfg.dynParModel = kModels[mi];
+                        cfg.tbPolicy = kPolicies[pi];
+                        cfg.seed = seed;
+                        results[slot] = runOne(*workloads[i], cfg);
+                        laperm_inform(
+                            "%s %s/%s: ipc=%.2f l1=%.3f l2=%.3f",
+                            names[i].c_str(), toString(kModels[mi]),
+                            toString(kPolicies[pi]), results[slot].ipc,
+                            results[slot].l1HitRate,
+                            results[slot].l2HitRate);
+                    });
+                }
             }
         }
+        pool.wait();
     }
+
     if (use_cache)
         saveCache(path, results);
     return results;

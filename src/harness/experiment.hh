@@ -45,13 +45,20 @@ RunResult runOne(const Workload &workload, const GpuConfig &cfg);
 /**
  * Full sweep: every workload in @p names under every model x policy.
  *
+ * Cells are independent simulations and execute on a thread pool, one
+ * job per cell; results (and the TSV cache) are emitted in the same
+ * deterministic order regardless of worker count.
+ *
  * @param use_cache read/write "laperm_results_<scale>_<seed>.tsv" in
  *        the working directory so the figure benches share one sweep
  *        (disable with LAPERM_NO_CACHE=1).
+ * @param jobs worker threads; 0 selects LAPERM_JOBS from the
+ *        environment, falling back to hardware_concurrency().
  */
 std::vector<RunResult> runMatrix(const std::vector<std::string> &names,
                                  Scale scale, std::uint64_t seed,
-                                 bool use_cache = true);
+                                 bool use_cache = true,
+                                 unsigned jobs = 0);
 
 /** Find a result in a sweep; fatal if missing. */
 const RunResult &findResult(const std::vector<RunResult> &results,

@@ -1,0 +1,91 @@
+#include "harness/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace laperm {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = 1;
+    threads_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            job();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--inFlight_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("LAPERM_JOBS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace laperm

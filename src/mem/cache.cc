@@ -139,6 +139,24 @@ Cache::allocate(Addr line, Cycle fill_ready, Cycle now, bool dirty)
     return victim_dirty;
 }
 
+void
+Cache::trimExpiredMshr(Cycle safe_now)
+{
+    // An entry with fillReady <= safe_now can never merge again: every
+    // later lookup carries now >= safe_now and would erase-and-miss.
+    // Access-time `now` is NOT a valid bound here — L2 sees timestamps
+    // out of order, so an entry dead at one access can still satisfy a
+    // merge for a logically earlier one.
+    if (mshr_.size() < 16)
+        return;
+    for (auto it = mshr_.begin(); it != mshr_.end();) {
+        if (it->second <= safe_now)
+            it = mshr_.erase(it);
+        else
+            ++it;
+    }
+}
+
 bool
 Cache::contains(Addr line) const
 {

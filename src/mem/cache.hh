@@ -80,6 +80,15 @@ class Cache
     /** Whether @p line is currently present (test helper). */
     bool contains(Addr line) const;
 
+    /**
+     * Eagerly drop outstanding-fill records that no future access can
+     * merge with. @p safe_now must lower-bound every timestamp later
+     * lookups will carry (the device clock qualifies; the current
+     * access time does NOT — L2 timestamps arrive out of order), so
+     * trimming is invisible to the timing model.
+     */
+    void trimExpiredMshr(Cycle safe_now);
+
     /** Reset tags, MSHRs and statistics. */
     void reset();
 
@@ -104,7 +113,12 @@ class Cache
     std::uint32_t numSets_;
     std::vector<Way> ways_; ///< numSets_ * assoc, set-major
     std::uint64_t lruClock_ = 0;
-    /** Outstanding fills: line -> completion cycle (purged lazily). */
+    /**
+     * Outstanding fills evicted from the tag array before completing:
+     * line -> completion cycle. Trimmed eagerly by the owner via
+     * trimExpiredMshr() so long runs don't accumulate dead entries
+     * that every merge-miss lookup then hashes through.
+     */
     std::unordered_map<Addr, Cycle> mshr_;
     CacheStats stats_;
 };

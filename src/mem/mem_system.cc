@@ -83,6 +83,14 @@ MemSystem::store(SmxId smx, Addr line, Cycle now)
 }
 
 void
+MemSystem::trimMshrs(Cycle safe_now)
+{
+    for (auto &l1 : l1s_)
+        l1->trimExpiredMshr(safe_now);
+    l2_->trimExpiredMshr(safe_now);
+}
+
+void
 MemSystem::reset()
 {
     for (auto &l1 : l1s_)

@@ -43,6 +43,13 @@ class MemSystem
 
     void reset();
 
+    /**
+     * Drop dead MSHR records in every cache. @p safe_now must
+     * lower-bound all future load/store timestamps; the Gpu calls this
+     * with its clock on an amortized interval.
+     */
+    void trimMshrs(Cycle safe_now);
+
     const Cache &l1(SmxId smx) const { return *l1s_[l1Index(smx)]; }
     const Cache &l2() const { return *l2_; }
     const Dram &dram() const { return dram_.value(); }

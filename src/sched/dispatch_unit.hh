@@ -34,6 +34,13 @@ struct DispatchUnit
     /** Next TB (relative) to dispatch; == count when exhausted. */
     std::uint32_t nextTb = 0;
     std::uint32_t threadsPerTb = 0;
+    /**
+     * Per-TB resource demand, hoisted from the program at unit
+     * creation: fit probes run per unit x per SMX x per cycle and must
+     * not pay two virtual calls each time.
+     */
+    std::uint32_t regsPerTb = 0;
+    std::uint32_t smemPerTb = 0;
 
     /** Priority level: 0 = host kernel, children = parent + 1 (<= L). */
     std::uint32_t priority = 0;

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The parallel sweep executor's determinism contract: for a given
+ * (names, scale, seed), runMatrix returns the identical RunResult
+ * vector — every metric bit-exact, same ordering — and writes a
+ * byte-identical TSV cache no matter how many worker threads ran it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+using namespace laperm;
+
+namespace {
+
+const std::vector<std::string> kNames = {"bfs-cage", "join-uniform"};
+
+void
+expectIdentical(const std::vector<RunResult> &a,
+                const std::vector<RunResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].model, b[i].model);
+        EXPECT_EQ(a[i].policy, b[i].policy);
+        // Exact equality on purpose: each cell is an independent,
+        // fully deterministic simulation, so threading must not
+        // perturb a single bit.
+        EXPECT_EQ(a[i].ipc, b[i].ipc);
+        EXPECT_EQ(a[i].l1HitRate, b[i].l1HitRate);
+        EXPECT_EQ(a[i].l2HitRate, b[i].l2HitRate);
+        EXPECT_EQ(a[i].cycles, b[i].cycles);
+        EXPECT_EQ(a[i].smxUtilization, b[i].smxUtilization);
+        EXPECT_EQ(a[i].smxImbalance, b[i].smxImbalance);
+        EXPECT_EQ(a[i].boundFraction, b[i].boundFraction);
+        EXPECT_EQ(a[i].queueOverflows, b[i].queueOverflows);
+        EXPECT_EQ(a[i].kduFullStalls, b[i].kduFullStalls);
+    }
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(ParallelSweep, ResultsIdenticalAcrossJobCounts)
+{
+    auto serial = runMatrix(kNames, Scale::Tiny, 7, false, 1);
+    ASSERT_EQ(serial.size(), kNames.size() * 8); // 2 models x 4 policies
+    auto parallel = runMatrix(kNames, Scale::Tiny, 7, false, 8);
+    expectIdentical(serial, parallel);
+}
+
+TEST(ParallelSweep, CellOrderIsWorkloadModelPolicyMajor)
+{
+    auto results = runMatrix(kNames, Scale::Tiny, 7, false, 8);
+    ASSERT_EQ(results.size(), 16u);
+    // Workload-major, then model, then policy — the serial loop order.
+    EXPECT_EQ(results[0].workload, "bfs-cage");
+    EXPECT_EQ(results[0].model, DynParModel::CDP);
+    EXPECT_EQ(results[0].policy, TbPolicy::RR);
+    EXPECT_EQ(results[3].policy, TbPolicy::AdaptiveBind);
+    EXPECT_EQ(results[4].model, DynParModel::DTBL);
+    EXPECT_EQ(results[8].workload, "join-uniform");
+    EXPECT_EQ(results[8].model, DynParModel::CDP);
+    EXPECT_EQ(results[8].policy, TbPolicy::RR);
+}
+
+TEST(ParallelSweep, TsvCacheByteIdenticalAcrossJobCounts)
+{
+    setenv("LAPERM_NO_CACHE", "0", 1);
+    const std::string path = "laperm_results_tiny_7.tsv";
+    std::remove(path.c_str());
+
+    runMatrix(kNames, Scale::Tiny, 7, true, 1);
+    const std::string serialBytes = slurp(path);
+    ASSERT_FALSE(serialBytes.empty());
+    std::remove(path.c_str());
+
+    runMatrix(kNames, Scale::Tiny, 7, true, 8);
+    const std::string parallelBytes = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(serialBytes, parallelBytes);
+}
+
+TEST(ParallelSweep, CacheReloadMatchesFreshRun)
+{
+    setenv("LAPERM_NO_CACHE", "0", 1);
+    const std::string path = "laperm_results_tiny_11.tsv";
+    std::remove(path.c_str());
+    auto fresh = runMatrix({"bfs-cage"}, Scale::Tiny, 11, true, 4);
+    auto cached = runMatrix({"bfs-cage"}, Scale::Tiny, 11, true, 4);
+    std::remove(path.c_str());
+    ASSERT_EQ(fresh.size(), cached.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(fresh[i].workload, cached[i].workload);
+        EXPECT_NEAR(fresh[i].ipc, cached[i].ipc, 1e-3);
+        EXPECT_NEAR(fresh[i].cycles, cached[i].cycles, 1.0);
+    }
+}

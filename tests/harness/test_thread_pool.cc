@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/thread_pool.hh"
+
+using namespace laperm;
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.wait();
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int wave = 0; wave < 5; ++wave) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (wave + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran] { ++ran; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Non-throwing jobs still ran and the pool is usable afterwards.
+    EXPECT_EQ(ran.load(), 10);
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPool, SubmitFromWithinAJob)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        ++count;
+        pool.submit([&count] { ++count; });
+    });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnv)
+{
+    setenv("LAPERM_JOBS", "7", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 7u);
+    setenv("LAPERM_JOBS", "0", 1); // invalid: fall through to hardware
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    unsetenv("LAPERM_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
