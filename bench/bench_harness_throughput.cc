@@ -95,9 +95,7 @@ main()
     }
 
     const std::vector<std::string> &names = workloadNames();
-    const std::string cache =
-        logFormat("laperm_results_%s_%llu.tsv", toString(scale),
-                  static_cast<unsigned long long>(seed));
+    const std::string cache = sweepCachePath(scale, seed);
     const std::string serialCopy = cache + ".serial";
 
     // Serial reference sweep.

@@ -27,7 +27,7 @@ BM_PriorityQueuePushFront(benchmark::State &state)
     PriorityQueues q(5, 0);
     std::vector<DispatchUnit> units(1024);
     for (std::size_t i = 0; i < units.size(); ++i) {
-        units[i].priority = i % 5;
+        units[i].priority = static_cast<std::uint32_t>(i % 5);
         units[i].count = 1;
     }
     std::size_t i = 0;
@@ -53,7 +53,7 @@ BM_KmuPeekUnderBacklog(benchmark::State &state)
     for (int i = 0; i < state.range(0); ++i) {
         PendingLaunch p;
         p.req = {prog, 1, 32};
-        p.priority = i % 4;
+        p.priority = static_cast<std::uint32_t>(i % 4);
         p.readyAt = 0;
         kmu.push(std::move(p));
     }
@@ -87,7 +87,7 @@ BM_WarpTraceBuild(benchmark::State &state)
 {
     auto prog = std::make_shared<LambdaProgram>(
         "t", 4, [](ThreadCtx &c) {
-            for (int i = 0; i < 8; ++i) {
+            for (std::uint32_t i = 0; i < 8; ++i) {
                 c.ld(c.globalThreadIndex() * 4 + i * 4096, 4);
                 c.alu(4);
             }

@@ -33,7 +33,9 @@ main(int argc, char **argv)
         FootprintReport rep = analyzeFootprint(*w);
         t.addRow({name, fmtU(w->waves().size()), fmtU(rep.hostTbs),
                   fmtU(rep.deviceLaunches), fmtU(rep.childTbs),
-                  fmtF(w->footprintBytes() / 1e6, 1) + " MB"});
+                  fmtF(static_cast<double>(w->footprintBytes()) / 1e6,
+                       1) +
+                      " MB"});
     }
     t.print();
     return 0;

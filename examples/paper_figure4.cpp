@@ -36,14 +36,18 @@ std::map<TbUid, std::string> g_names;
 void
 hook(void *, const ThreadBlock &tb)
 {
+    // Built with += rather than operator+ to dodge the GCC 12 -Wrestrict
+    // false positive on inlined std::string concatenation (GCC PR105329).
     std::string label;
     if (!tb.isDynamic) {
-        label = "P" + std::to_string(tb.tbIndex);
+        label += 'P';
+        label += std::to_string(tb.tbIndex);
     } else {
         // Children of P2 come first (C0, C1), then P4's (C2..C5).
         const std::string &parent = g_names[tb.directParent];
         std::uint32_t base = parent == "P2" ? 0 : 2;
-        label = "C" + std::to_string(base + tb.tbIndex);
+        label += 'C';
+        label += std::to_string(base + tb.tbIndex);
     }
     g_names[tb.uid] = label;
     g_placements.push_back({label, tb.smx, tb.dispatchCycle});

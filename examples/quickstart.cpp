@@ -31,7 +31,7 @@ main(int argc, char **argv)
     auto workload = createWorkload("bfs-citation");
     workload->setup(scale, /*seed=*/1);
     std::printf("workload footprint: %.1f MB, %zu host waves\n\n",
-                workload->footprintBytes() / 1e6,
+                static_cast<double>(workload->footprintBytes()) / 1e6,
                 workload->waves().size());
 
     Table table({"scheduler", "model", "IPC", "L1 hit", "L2 hit",

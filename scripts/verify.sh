@@ -1,19 +1,78 @@
 #!/usr/bin/env bash
-# Tier-1 verification: Release build + full test suite, then a
-# ThreadSanitizer pass over the concurrent sweep harness.
-set -euo pipefail
+# Tier-1 verification pipeline, staged and fail-fast:
+#
+#   lint         scripts/lint.sh (sim-lint + clang-tidy when present)
+#   build-werror strict warning set promoted to errors (LAPERM_WERROR)
+#   ctest        Release build + full test suite
+#   asan-ubsan   full test suite under AddressSanitizer + UBSan
+#   tsan         concurrent-harness smoke under ThreadSanitizer
+#
+# Each stage runs in its own build tree so sanitizer flags never
+# contaminate the primary build. The summary line at the end (also
+# printed on failure) names every stage and its outcome.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-# 1. Release build + full ctest run (the tier-1 command).
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+JOBS="${LAPERM_JOBS:-$(nproc)}"
+STAGES=()
 
-# 2. ThreadSanitizer configuration for the concurrent harness tests.
-#    Only the gtest-free smoke binary runs here so every linked object
-#    is instrumented (gtest/benchmark from the system are not).
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAPERM_TSAN=ON
-cmake --build build-tsan -j --target harness_parallel_smoke
-(cd build-tsan && ctest --output-on-failure -R '^harness_parallel_smoke$')
+summary() {
+    echo "verify.sh summary: ${STAGES[*]}"
+    exit "${1:-0}"
+}
+
+run_stage() {
+    local name="$1"
+    shift
+    echo "=== verify stage: $name ==="
+    if "$@"; then
+        STAGES+=("$name:ok")
+    else
+        STAGES+=("$name:FAIL")
+        echo "verify.sh: stage '$name' failed" >&2
+        summary 1
+    fi
+}
+
+stage_lint() {
+    scripts/lint.sh
+}
+
+stage_werror() {
+    cmake -B build-werror -S . -DCMAKE_BUILD_TYPE=Release \
+        -DLAPERM_WERROR=ON &&
+        cmake --build build-werror -j"$JOBS"
+}
+
+stage_ctest() {
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release &&
+        cmake --build build -j"$JOBS" &&
+        ctest --test-dir build --output-on-failure -j"$JOBS"
+}
+
+stage_asan() {
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLAPERM_ASAN=ON &&
+        cmake --build build-asan -j"$JOBS" &&
+        ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+}
+
+stage_tsan() {
+    # Only the gtest-free smoke binary runs here so every linked object
+    # is instrumented (gtest/benchmark from the system are not).
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLAPERM_TSAN=ON &&
+        cmake --build build-tsan -j"$JOBS" \
+            --target harness_parallel_smoke &&
+        (cd build-tsan &&
+            ctest --output-on-failure -R '^harness_parallel_smoke$')
+}
+
+run_stage lint stage_lint
+run_stage build-werror stage_werror
+run_stage ctest stage_ctest
+run_stage asan-ubsan stage_asan
+run_stage tsan stage_tsan
 
 echo "verify.sh: all checks passed"
+summary 0

@@ -153,14 +153,18 @@ analyzeFootprint(const Workload &workload)
         accumulateSibling(hosts, pp_cos_sum, pp_cs_sum, pp_co_sum);
     }
 
-    rep.parentChild =
-        c_sum ? static_cast<double>(pc_sum) / c_sum : 0.0;
-    rep.childSibling =
-        cs_sum ? static_cast<double>(cos_sum) / cs_sum : 0.0;
-    rep.childSiblingOwn =
-        co_sum ? static_cast<double>(cos_sum) / co_sum : 0.0;
-    rep.parentParent =
-        pp_cs_sum ? static_cast<double>(pp_cos_sum) / pp_cs_sum : 0.0;
+    rep.parentChild = c_sum ? static_cast<double>(pc_sum) /
+                                  static_cast<double>(c_sum)
+                            : 0.0;
+    rep.childSibling = cs_sum ? static_cast<double>(cos_sum) /
+                                    static_cast<double>(cs_sum)
+                              : 0.0;
+    rep.childSiblingOwn = co_sum ? static_cast<double>(cos_sum) /
+                                       static_cast<double>(co_sum)
+                                 : 0.0;
+    rep.parentParent = pp_cs_sum ? static_cast<double>(pp_cos_sum) /
+                                       static_cast<double>(pp_cs_sum)
+                                 : 0.0;
     return rep;
 }
 

@@ -34,7 +34,8 @@ Smx::evaluateThrottle()
     std::uint64_t hits = l1.hits - throttleLastHits_;
     throttleLastAccesses_ = l1.accesses;
     throttleLastHits_ = l1.hits;
-    double miss = 1.0 - static_cast<double>(hits) / accesses;
+    double miss =
+        1.0 - static_cast<double>(hits) / static_cast<double>(accesses);
     if (miss > cfg_.throttleHighMiss &&
         effectiveMaxTbs_ > cfg_.throttleMinTbs) {
         --effectiveMaxTbs_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -47,10 +48,10 @@ runOne(const Workload &workload, const GpuConfig &cfg)
     r.cycles = static_cast<double>(s.cycles);
     r.smxUtilization = s.avgSmxUtilization();
     r.smxImbalance = s.smxImbalance();
-    r.boundFraction =
-        s.dynamicTbs
-            ? static_cast<double>(s.boundDispatches) / s.dynamicTbs
-            : 0.0;
+    r.boundFraction = s.dynamicTbs
+                          ? static_cast<double>(s.boundDispatches) /
+                                static_cast<double>(s.dynamicTbs)
+                          : 0.0;
     r.queueOverflows = static_cast<double>(s.queueOverflows);
     r.kduFullStalls = static_cast<double>(s.kduFullStalls);
     return r;
@@ -64,10 +65,10 @@ constexpr TbPolicy kPolicies[] = {TbPolicy::RR, TbPolicy::TbPri,
 constexpr DynParModel kModels[] = {DynParModel::CDP, DynParModel::DTBL};
 
 std::string
-cachePath(Scale scale, std::uint64_t seed)
+cacheDir()
 {
-    return logFormat("laperm_results_%s_%llu.tsv", toString(scale),
-                     static_cast<unsigned long long>(seed));
+    const char *dir = std::getenv("LAPERM_CACHE_DIR");
+    return dir && *dir ? dir : "cache";
 }
 
 bool
@@ -121,6 +122,8 @@ loadCache(const std::string &path,
 void
 saveCache(const std::string &path, const std::vector<RunResult> &rows)
 {
+    std::error_code ec;
+    std::filesystem::create_directories(cacheDir(), ec);
     std::ofstream outf(path);
     if (!outf)
         return;
@@ -138,6 +141,14 @@ saveCache(const std::string &path, const std::vector<RunResult> &rows)
 
 } // namespace
 
+std::string
+sweepCachePath(Scale scale, std::uint64_t seed)
+{
+    return logFormat("%s/laperm_results_%s_%llu.tsv", cacheDir().c_str(),
+                     toString(scale),
+                     static_cast<unsigned long long>(seed));
+}
+
 std::vector<RunResult>
 runMatrix(const std::vector<std::string> &names, Scale scale,
           std::uint64_t seed, bool use_cache, unsigned jobs)
@@ -148,7 +159,7 @@ runMatrix(const std::vector<std::string> &names, Scale scale,
     if (jobs == 0)
         jobs = ThreadPool::defaultJobs();
 
-    const std::string path = cachePath(scale, seed);
+    const std::string path = sweepCachePath(scale, seed);
     std::vector<RunResult> results;
     if (use_cache && loadCache(path, names, results))
         return results;
@@ -240,7 +251,7 @@ meanOver(const std::vector<RunResult> &results, DynParModel model,
             ++n;
         }
     }
-    return n ? sum / n : 0.0;
+    return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 } // namespace laperm

@@ -49,9 +49,10 @@ RunResult runOne(const Workload &workload, const GpuConfig &cfg);
  * job per cell; results (and the TSV cache) are emitted in the same
  * deterministic order regardless of worker count.
  *
- * @param use_cache read/write "laperm_results_<scale>_<seed>.tsv" in
- *        the working directory so the figure benches share one sweep
- *        (disable with LAPERM_NO_CACHE=1).
+ * @param use_cache read/write "laperm_results_<scale>_<seed>.tsv"
+ *        under the cache directory — $LAPERM_CACHE_DIR, default
+ *        "cache/" in the working directory — so the figure benches
+ *        share one sweep (disable with LAPERM_NO_CACHE=1).
  * @param jobs worker threads; 0 selects LAPERM_JOBS from the
  *        environment, falling back to hardware_concurrency().
  */
@@ -59,6 +60,14 @@ std::vector<RunResult> runMatrix(const std::vector<std::string> &names,
                                  Scale scale, std::uint64_t seed,
                                  bool use_cache = true,
                                  unsigned jobs = 0);
+
+/**
+ * Path of the TSV sweep cache runMatrix reads/writes for this
+ * (scale, seed): "$LAPERM_CACHE_DIR/laperm_results_<scale>_<seed>.tsv",
+ * default cache dir "cache". Exposed so tests and benches address the
+ * cache without duplicating the layout.
+ */
+std::string sweepCachePath(Scale scale, std::uint64_t seed);
 
 /** Find a result in a sweep; fatal if missing. */
 const RunResult &findResult(const std::vector<RunResult> &results,

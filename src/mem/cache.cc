@@ -149,6 +149,9 @@ Cache::trimExpiredMshr(Cycle safe_now)
     // merge for a logically earlier one.
     if (mshr_.size() < 16)
         return;
+    // Order-independent erase filter: the surviving entry set is the
+    // same whatever order buckets are visited, and nothing downstream
+    // observes the traversal. sim-lint: allow(unordered-iter)
     for (auto it = mshr_.begin(); it != mshr_.end();) {
         if (it->second <= safe_now)
             it = mshr_.erase(it);

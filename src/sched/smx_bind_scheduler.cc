@@ -86,7 +86,7 @@ SmxBindScheduler::dispatchOne(Cycle now)
     if (cfg_.backupPolicy == BackupPolicy::Random) {
         b = -1; // always re-pick (ablation variant)
     }
-    if (b >= 0 && perCluster_[b].empty())
+    if (b >= 0 && perCluster_[static_cast<std::size_t>(b)].empty())
         b = -1;
     if (b < 0) {
         if (cfg_.backupPolicy == BackupPolicy::Random) {
@@ -116,15 +116,16 @@ SmxBindScheduler::dispatchOne(Cycle now)
     if (b < 0)
         return false;
 
+    const std::size_t bi = static_cast<std::size_t>(b);
     bool backup_blocked = false;
-    DispatchUnit *unit = perCluster_[b].front(now, backup_blocked);
+    DispatchUnit *unit = perCluster_[bi].front(now, backup_blocked);
     if (!unit)
         return false;
     if (!ctx_.fits(smx, *unit))
         return false;
     ctx_.dispatchTb(*unit, smx, now);
     ++ctx_.mutableStats().unboundDispatches;
-    perCluster_[b].popIfExhausted(unit);
+    perCluster_[bi].popIfExhausted(unit);
     return true;
 }
 

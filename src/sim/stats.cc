@@ -24,7 +24,7 @@ GpuStats::ipc() const
     std::uint64_t insts = 0;
     for (const auto &s : smx)
         insts += s.threadInstructions;
-    return static_cast<double>(insts) / cycles;
+    return static_cast<double>(insts) / static_cast<double>(cycles);
 }
 
 CacheStats
@@ -43,8 +43,12 @@ GpuStats::avgSmxUtilization() const
         return 0.0;
     double sum = 0.0;
     for (const auto &s : smx)
-        sum += static_cast<double>(s.busyCycles) / cycles;
-    return sum / smx.size();
+        // Summed in smx-vector index order, which is fixed by
+        // GpuConfig, so the reduction is deterministic.
+        // sim-lint: allow(fp-accum)
+        sum += static_cast<double>(s.busyCycles) /
+               static_cast<double>(cycles);
+    return sum / static_cast<double>(smx.size());
 }
 
 double
@@ -57,7 +61,8 @@ GpuStats::smxImbalance() const
         lo = std::min(lo, s.busyCycles);
         hi = std::max(hi, s.busyCycles);
     }
-    return hi ? static_cast<double>(hi - lo) / hi : 0.0;
+    return hi ? static_cast<double>(hi - lo) / static_cast<double>(hi)
+              : 0.0;
 }
 
 } // namespace laperm

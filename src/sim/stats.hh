@@ -28,7 +28,9 @@ struct CacheStats
 
     double hitRate() const
     {
-        return accesses ? static_cast<double>(hits) / accesses : 0.0;
+        return accesses ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
     }
 
     void add(const CacheStats &other);
@@ -44,7 +46,9 @@ struct DramStats
     double avgQueueCycles() const
     {
         std::uint64_t n = reads + writes;
-        return n ? static_cast<double>(totalQueueCycles) / n : 0.0;
+        return n ? static_cast<double>(totalQueueCycles) /
+                       static_cast<double>(n)
+                 : 0.0;
     }
 };
 

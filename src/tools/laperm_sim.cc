@@ -65,6 +65,16 @@ usage(const char *argv0)
     std::exit(2);
 }
 
+std::uint32_t
+parseU32(const char *s, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (*s == '-' || end == s || *end != '\0' || v > 0xFFFFFFFFul)
+        laperm_fatal("bad %s value '%s'", what, s);
+    return static_cast<std::uint32_t>(v);
+}
+
 TbPolicy
 parsePolicy(const std::string &s)
 {
@@ -164,13 +174,14 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--seed")) {
             opt.seed = std::strtoull(next_arg(i), nullptr, 10);
         } else if (!std::strcmp(a, "--smx")) {
-            opt.cfg.numSmx = std::atoi(next_arg(i));
+            opt.cfg.numSmx = parseU32(next_arg(i), "--smx");
         } else if (!std::strcmp(a, "--l1-kb")) {
-            opt.cfg.l1Size = std::atoi(next_arg(i)) * 1024;
+            opt.cfg.l1Size = parseU32(next_arg(i), "--l1-kb") * 1024;
         } else if (!std::strcmp(a, "--l2-kb")) {
-            opt.cfg.l2Size = std::atoi(next_arg(i)) * 1024;
+            opt.cfg.l2Size = parseU32(next_arg(i), "--l2-kb") * 1024;
         } else if (!std::strcmp(a, "--levels")) {
-            opt.cfg.maxPriorityLevels = std::atoi(next_arg(i));
+            opt.cfg.maxPriorityLevels =
+                parseU32(next_arg(i), "--levels");
         } else if (!std::strcmp(a, "--cdp-latency")) {
             opt.cfg.cdpLaunchLatency =
                 std::strtoull(next_arg(i), nullptr, 10);

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * sim-lint: simulator-specific determinism lints that clang-tidy cannot
+ * express. The simulator's headline numbers (Fig. 9 IPC deltas) are only
+ * trustworthy if a run is bit-deterministic, and the parallel sweep
+ * harness further requires byte-identical TSV output at any worker
+ * count. These rules statically ban the constructs that historically
+ * break that property:
+ *
+ *  - banned-rng       std::rand / <random> engines anywhere outside
+ *                     common/rng.hh (the seedable xoshiro256** wrapper).
+ *                     std::mt19937 distributions are implementation-
+ *                     defined, so results would differ across stdlibs.
+ *  - wall-clock       system/steady/high_resolution_clock, time(),
+ *                     gettimeofday, std::chrono in simulator code.
+ *                     Model time is GpuConfig-driven cycles; wall time
+ *                     makes runs irreproducible.
+ *  - unordered-iter   iteration over std::unordered_{map,set} in
+ *                     simulator code. Bucket order is unspecified, so
+ *                     any result-affecting traversal is nondeterministic
+ *                     across stdlib versions (and across inserts).
+ *  - fp-accum         += / -= into a float/double accumulator in
+ *                     simulator code without a documented ordering.
+ *                     FP addition is non-associative; reordered sums
+ *                     change low bits, which the byte-identical TSV
+ *                     contract turns into failures.
+ *
+ * Scoping: the wall-clock / unordered-iter / fp-accum rules apply only
+ * to "restricted" simulator directories (sim, sched, mem, gpu, dynpar);
+ * harness and bench code legitimately measures wall time. banned-rng
+ * applies everywhere except common/rng.{hh,cc} itself.
+ *
+ * Suppression: a finding on line N is suppressed if line N or N-1
+ * contains "sim-lint: allow(<rule>)" — always with a reason in the
+ * surrounding comment. "sim-lint: allow-file(<rule>)" anywhere in the
+ * file disables the rule for the whole file.
+ */
+
+#ifndef LAPERM_TOOLS_SIM_LINT_HH
+#define LAPERM_TOOLS_SIM_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace laperm {
+namespace simlint {
+
+enum class Rule { BannedRng, WallClock, UnorderedIter, FpAccum };
+
+/** Stable kebab-case name used in reports and allow() comments. */
+const char *ruleName(Rule rule);
+
+struct Finding
+{
+    std::string path;
+    std::size_t line = 0; ///< 1-based
+    Rule rule = Rule::BannedRng;
+    std::string message;
+};
+
+/** How a file's path scopes the rule set. */
+struct FileScope
+{
+    bool restricted = false; ///< under sim/sched/mem/gpu/dynpar
+    bool rngExempt = false;  ///< common/rng.{hh,cc} itself
+};
+
+/** Classify @p path by its components (separator-normalized). */
+FileScope classifyPath(const std::string &path);
+
+/**
+ * Lint one translation unit given its contents. Comments, string and
+ * character literals are stripped before pattern matching (a mention of
+ * mt19937 in a doc comment is not a violation), but allow() markers are
+ * honoured from the raw text.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content);
+
+/** Lint a file on disk. Returns false if it cannot be read. */
+bool lintFile(const std::string &path, std::vector<Finding> &out);
+
+/**
+ * Recursively lint every .hh/.cc under @p root in sorted path order
+ * (the linter is itself deterministic). Returns the number of files
+ * scanned.
+ */
+std::size_t lintTree(const std::string &root, std::vector<Finding> &out);
+
+} // namespace simlint
+} // namespace laperm
+
+#endif // LAPERM_TOOLS_SIM_LINT_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * sim-lint CLI. Usage:
+ *
+ *   sim_lint [--root <dir>] [file...]
+ *
+ * With explicit files, lints exactly those. Otherwise scans every
+ * .hh/.cc under <root>/src (default root "."). Exit status: 0 when
+ * clean, 1 when findings were reported, 2 on usage/IO errors.
+ * Invoked by scripts/lint.sh and the verify pipeline.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/sim_lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace laperm::simlint;
+
+    std::string root = ".";
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "sim-lint: --root needs a value\n");
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: sim_lint [--root <dir>] [file...]\n");
+            return 0;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    std::vector<Finding> findings;
+    std::size_t scanned = 0;
+    if (files.empty()) {
+        scanned = lintTree(root + "/src", findings);
+        if (scanned == 0) {
+            std::fprintf(stderr,
+                         "sim-lint: no sources found under %s/src\n",
+                         root.c_str());
+            return 2;
+        }
+    } else {
+        for (const auto &f : files) {
+            if (!lintFile(f, findings)) {
+                std::fprintf(stderr, "sim-lint: cannot read %s\n",
+                             f.c_str());
+                return 2;
+            }
+            ++scanned;
+        }
+    }
+
+    for (const auto &f : findings) {
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
+                     ruleName(f.rule), f.message.c_str());
+    }
+    std::printf("sim-lint: %zu files scanned, %zu finding%s\n", scanned,
+                findings.size(), findings.size() == 1 ? "" : "s");
+    return findings.empty() ? 0 : 1;
+}

@@ -205,9 +205,9 @@ AmrWorkload::setup(Scale scale, std::uint64_t seed)
     Rng rng(seed);
     const std::uint32_t cells = d->w * d->h;
     d->field.assign(cells, 0.0f);
-    const int hotspots = 6 + static_cast<int>(rng.nextBounded(4));
+    const std::size_t hotspots = 6 + rng.nextBounded(4);
     std::vector<double> hx(hotspots), hy(hotspots), hs(hotspots);
-    for (int i = 0; i < hotspots; ++i) {
+    for (std::size_t i = 0; i < hotspots; ++i) {
         hx[i] = rng.nextDouble() * d->w;
         hy[i] = rng.nextDouble() * d->h;
         hs[i] = d->w * (0.03 + 0.05 * rng.nextDouble());
@@ -215,7 +215,7 @@ AmrWorkload::setup(Scale scale, std::uint64_t seed)
     for (std::uint32_t y = 0; y < d->h; ++y) {
         for (std::uint32_t x = 0; x < d->w; ++x) {
             double v = 0.0;
-            for (int i = 0; i < hotspots; ++i) {
+            for (std::size_t i = 0; i < hotspots; ++i) {
                 double dx = x - hx[i], dy = y - hy[i];
                 v += std::exp(-(dx * dx + dy * dy) / (2 * hs[i] * hs[i]));
             }

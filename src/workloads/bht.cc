@@ -204,9 +204,9 @@ BhtWorkload::setup(Scale scale, std::uint64_t seed)
     // cells produce the skewed child launches Adaptive-Bind targets.
     Rng rng(seed);
     const std::uint32_t g = 1u << d->gridLog2;
-    const int clusters = 24;
+    const std::size_t clusters = 24;
     std::vector<double> cx(clusters), cy(clusters);
-    for (int i = 0; i < clusters; ++i) {
+    for (std::size_t i = 0; i < clusters; ++i) {
         cx[i] = rng.nextDouble() * g;
         cy[i] = rng.nextDouble() * g;
     }
@@ -217,7 +217,7 @@ BhtWorkload::setup(Scale scale, std::uint64_t seed)
             x = rng.nextDouble() * g;
             y = rng.nextDouble() * g;
         } else {
-            int c = static_cast<int>(rng.nextBounded(clusters));
+            std::size_t c = rng.nextBounded(clusters);
             x = cx[c] + rng.nextGaussian() * g * 0.008;
             y = cy[c] + rng.nextGaussian() * g * 0.008;
         }

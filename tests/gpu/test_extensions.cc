@@ -23,7 +23,7 @@ thrashKernel(std::uint32_t tbs)
                 // Scattered, non-reused lines: near-100% miss rate.
                 Addr a = 0x1000000ull +
                          (static_cast<Addr>(c.globalThreadIndex()) * 131 +
-                          i * 7919) %
+                          static_cast<Addr>(i) * 7919) %
                              (1u << 20) * kLineBytes;
                 c.ld(a, 4);
                 c.alu(4);

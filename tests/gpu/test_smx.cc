@@ -114,7 +114,7 @@ TEST(Smx, GtoPrefersGreedyWarp)
     cfg.numSmx = 1;
     auto prog = std::make_shared<LambdaProgram>(
         "mix", allocateFunctionId(), [](ThreadCtx &c) {
-            for (int i = 0; i < 4; ++i) {
+            for (std::uint32_t i = 0; i < 4; ++i) {
                 c.ld((c.globalThreadIndex() % 7) * 4096 + i * 131072, 4);
                 c.alu(8);
             }

@@ -42,8 +42,9 @@ TEST(Bfs, FrontiersPartitionReachableVertices)
         }
     }
     for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
-        if (r.level[v] != kUnreached)
+        if (r.level[v] != kUnreached) {
             EXPECT_TRUE(seen[v]);
+        }
     }
     EXPECT_GT(reached, 0u);
 }

@@ -21,7 +21,7 @@ meanNeighborDistance(const Csr &g)
             ++n;
         }
     }
-    return n ? sum / n : 0.0;
+    return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 } // namespace

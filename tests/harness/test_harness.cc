@@ -39,7 +39,8 @@ TEST(Harness, RunOneProducesMetrics)
 TEST(Harness, MatrixCacheRoundTrip)
 {
     setenv("LAPERM_NO_CACHE", "0", 1);
-    std::remove("laperm_results_tiny_99.tsv");
+    const std::string cache = sweepCachePath(Scale::Tiny, 99);
+    std::remove(cache.c_str());
     std::vector<std::string> names = {"bfs-cage"};
     auto first = runMatrix(names, Scale::Tiny, 99, true);
     ASSERT_EQ(first.size(), 8u); // 2 models x 4 policies
@@ -50,17 +51,19 @@ TEST(Harness, MatrixCacheRoundTrip)
         EXPECT_NEAR(first[i].ipc, second[i].ipc, 1e-3);
         EXPECT_NEAR(first[i].cycles, second[i].cycles, 1.0);
     }
-    std::remove("laperm_results_tiny_99.tsv");
+    std::remove(cache.c_str());
 }
 
 TEST(Harness, FindResultAndMean)
 {
     std::vector<RunResult> rs(2);
-    rs[0].workload = "a";
+    // std::string(...) dodges GCC 12's spurious -Wrestrict on the
+    // inlined const char* assignment (PR105329).
+    rs[0].workload = std::string("a");
     rs[0].model = DynParModel::CDP;
     rs[0].policy = TbPolicy::RR;
     rs[0].ipc = 2.0;
-    rs[1].workload = "b";
+    rs[1].workload = std::string("b");
     rs[1].model = DynParModel::CDP;
     rs[1].policy = TbPolicy::RR;
     rs[1].ipc = 4.0;

@@ -84,7 +84,7 @@ TEST(ParallelSweep, CellOrderIsWorkloadModelPolicyMajor)
 TEST(ParallelSweep, TsvCacheByteIdenticalAcrossJobCounts)
 {
     setenv("LAPERM_NO_CACHE", "0", 1);
-    const std::string path = "laperm_results_tiny_7.tsv";
+    const std::string path = sweepCachePath(Scale::Tiny, 7);
     std::remove(path.c_str());
 
     runMatrix(kNames, Scale::Tiny, 7, true, 1);
@@ -102,7 +102,7 @@ TEST(ParallelSweep, TsvCacheByteIdenticalAcrossJobCounts)
 TEST(ParallelSweep, CacheReloadMatchesFreshRun)
 {
     setenv("LAPERM_NO_CACHE", "0", 1);
-    const std::string path = "laperm_results_tiny_11.tsv";
+    const std::string path = sweepCachePath(Scale::Tiny, 11);
     std::remove(path.c_str());
     auto fresh = runMatrix({"bfs-cage"}, Scale::Tiny, 11, true, 4);
     auto cached = runMatrix({"bfs-cage"}, Scale::Tiny, 11, true, 4);

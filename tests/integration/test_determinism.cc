@@ -82,9 +82,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(TbPolicy::RR, TbPolicy::TbPri, TbPolicy::SmxBind,
                           TbPolicy::AdaptiveBind),
         ::testing::Values(DynParModel::CDP, DynParModel::DTBL)),
-    [](const ::testing::TestParamInfo<Param> &info) {
-        std::string n = std::string(toString(std::get<0>(info.param))) +
-                        "_" + toString(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param> &param_info) {
+        std::string n =
+            std::string(toString(std::get<0>(param_info.param))) + "_" +
+            toString(std::get<1>(param_info.param));
         for (auto &ch : n) {
             if (ch == '-')
                 ch = '_';

@@ -109,7 +109,8 @@ TEST(LocalityIntegration, AdaptiveBindNoSlowerThanSmxBind)
 {
     GpuStats bind = runPolicy(TbPolicy::SmxBind, 64);
     GpuStats adaptive = runPolicy(TbPolicy::AdaptiveBind, 64);
-    EXPECT_LE(adaptive.cycles, bind.cycles * 1.02);
+    EXPECT_LE(static_cast<double>(adaptive.cycles),
+              static_cast<double>(bind.cycles) * 1.02);
 }
 
 TEST(LocalityIntegration, LaPermBeatsRrWhenWorkingSetExceedsL2)
@@ -127,12 +128,13 @@ TEST(LocalityIntegration, GainShrinksWhenEverythingFitsInL2)
     // working-set/cache-size gap).
     GpuStats rr = runPolicy(TbPolicy::RR, 4096);
     GpuStats laperm = runPolicy(TbPolicy::AdaptiveBind, 4096);
-    double big_gain = static_cast<double>(rr.cycles) / laperm.cycles;
+    double big_gain = static_cast<double>(rr.cycles) /
+                      static_cast<double>(laperm.cycles);
 
     GpuStats rr_small = runPolicy(TbPolicy::RR, 64);
     GpuStats laperm_small = runPolicy(TbPolicy::AdaptiveBind, 64);
-    double small_gain =
-        static_cast<double>(rr_small.cycles) / laperm_small.cycles;
+    double small_gain = static_cast<double>(rr_small.cycles) /
+                        static_cast<double>(laperm_small.cycles);
 
     EXPECT_GT(small_gain, big_gain);
 }

@@ -89,8 +89,9 @@ TEST(Cache, WriteBackDirtyEviction)
     for (Addr i = 1; i <= 4; ++i) {
         c.lookupLoad(i * kLineBytes, i);
         bool victim_dirty = c.allocate(i * kLineBytes, i, i, false);
-        if (i == 4)
+        if (i == 4) {
             EXPECT_TRUE(victim_dirty); // line 0 was dirty
+        }
     }
     EXPECT_EQ(c.stats().writebacks, 1u);
 }

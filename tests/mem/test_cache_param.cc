@@ -95,7 +95,7 @@ TEST_P(CacheGeometry, ContainsAgreesWithLookup)
     Cache c(params());
     Rng rng(99);
     std::unordered_set<Addr> inserted;
-    for (int i = 0; i < 5000; ++i) {
+    for (Cycle i = 0; i < 5000; ++i) {
         Addr line = rng.nextBounded(512) * kLineBytes;
         bool contained = c.contains(line);
         auto r = c.lookupLoad(line, 100000 + i);
@@ -113,7 +113,12 @@ INSTANTIATE_TEST_SUITE_P(
                       Geometry{32768, 4},     // Table I L1
                       Geometry{65536, 8},     // mid
                       Geometry{1572864, 16}), // Table I L2
-    [](const ::testing::TestParamInfo<Geometry> &info) {
-        return "s" + std::to_string(std::get<0>(info.param)) + "_a" +
-               std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Geometry> &param_info) {
+        // Built with += (not operator+) to dodge GCC 12's spurious
+        // -Wrestrict on inlined string concatenation (PR105329).
+        std::string name = "s";
+        name += std::to_string(std::get<0>(param_info.param));
+        name += "_a";
+        name += std::to_string(std::get<1>(param_info.param));
+        return name;
     });

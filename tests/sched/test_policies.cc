@@ -122,10 +122,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(TbPolicy::RR, TbPolicy::TbPri, TbPolicy::SmxBind,
                           TbPolicy::AdaptiveBind),
         ::testing::Values(DynParModel::CDP, DynParModel::DTBL)),
-    [](const ::testing::TestParamInfo<Param> &info) {
-        std::string name = toString(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<Param> &param_info) {
+        std::string name = toString(std::get<0>(param_info.param));
         name += "_";
-        name += toString(std::get<1>(info.param));
+        name += toString(std::get<1>(param_info.param));
         for (auto &ch : name) {
             if (ch == '-')
                 ch = '_';

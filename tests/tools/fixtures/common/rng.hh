@@ -1,0 +1,11 @@
+// sim-lint fixture: stands in for src/common/rng.hh, the one file
+// allowed to reference stdlib RNG machinery (it exists to replace it).
+// Not compiled — parsed by test_sim_lint.cc.
+#include <random>
+
+struct FixtureRng
+{
+    // The real wrapper documents why std::mt19937 is rejected; the
+    // token may appear here without tripping banned-rng.
+    std::mt19937 legacyCompat;
+};

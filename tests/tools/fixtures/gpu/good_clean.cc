@@ -1,0 +1,18 @@
+// sim-lint fixture: idiomatic simulator code that must pass every rule.
+// Not compiled — parsed by test_sim_lint.cc.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+std::uint64_t
+tick(const std::vector<std::uint64_t> &active,
+     const std::map<std::uint64_t, std::uint64_t> &ready)
+{
+    std::uint64_t issued = 0;
+    for (std::uint64_t smx : active)
+        issued += smx & 1;
+    // Ordered map: deterministic traversal, legal.
+    for (const auto &kv : ready)
+        issued += kv.second;
+    return issued;
+}

@@ -1,0 +1,12 @@
+// sim-lint fixture: wall-clock use OUTSIDE the restricted simulator
+// directories (here: harness) is legal — benches and the sweep
+// executor legitimately measure elapsed time.
+// Not compiled — parsed by test_sim_lint.cc.
+#include <chrono>
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0)
+{
+    auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double>(dt).count();
+}

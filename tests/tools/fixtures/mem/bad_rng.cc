@@ -1,0 +1,20 @@
+// sim-lint fixture: every banned RNG construct must be flagged.
+// Not compiled — parsed by test_sim_lint.cc.
+#include <cstdlib>
+#include <random>
+
+int
+unseededNoise()
+{
+    std::srand(42);
+    return std::rand() % 7 + rand();
+}
+
+int
+stdlibEngines()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    std::uniform_int_distribution<int> dist(0, 9);
+    return dist(gen);
+}

@@ -1,0 +1,32 @@
+// sim-lint fixture: violations carrying justification comments must be
+// suppressed. Not compiled — parsed by test_sim_lint.cc.
+#include <unordered_map>
+#include <vector>
+
+unsigned long
+trimExpired(std::unordered_map<unsigned long, unsigned long> &mshr,
+            unsigned long now)
+{
+    unsigned long erased = 0;
+    // Order-independent erase filter: the surviving set is the same
+    // whatever order buckets are visited. sim-lint: allow(unordered-iter)
+    for (auto it = mshr.begin(); it != mshr.end();) {
+        if (it->second <= now) {
+            it = mshr.erase(it);
+            ++erased;
+        } else {
+            ++it;
+        }
+    }
+    return erased;
+}
+
+double
+meanOverVector(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    // Vector order is the declared, deterministic iteration order.
+    for (double x : xs)
+        sum += x; // sim-lint: allow(fp-accum)
+    return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}

@@ -1,0 +1,20 @@
+// sim-lint fixture: order-exposing traversal of unordered containers
+// in scheduler code must be flagged; point lookups must not be.
+// Not compiled — parsed by test_sim_lint.cc.
+#include <unordered_map>
+#include <unordered_set>
+
+unsigned long
+sumPending(const std::unordered_map<unsigned, unsigned> &pending)
+{
+    std::unordered_set<unsigned> live;
+    unsigned long total = 0;
+    for (const auto &kv : pending)
+        total += kv.second;
+    for (auto it = live.begin(); it != live.end(); ++it)
+        total += *it;
+    // Point lookup: legal, must NOT be flagged.
+    if (pending.find(3) != pending.end())
+        ++total;
+    return total;
+}

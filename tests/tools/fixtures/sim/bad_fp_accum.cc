@@ -1,0 +1,16 @@
+// sim-lint fixture: undocumented floating-point accumulation in
+// simulator code must be flagged; integer accumulation must not be.
+// Not compiled — parsed by test_sim_lint.cc.
+#include <vector>
+
+double
+meanLatency(const std::vector<double> &samples)
+{
+    double sum = 0.0;
+    unsigned long count = 0;
+    for (double s : samples) {
+        sum += s;
+        count += 1; // integer accumulator: must NOT be flagged
+    }
+    return count ? sum / count : 0.0;
+}

@@ -1,0 +1,14 @@
+// sim-lint fixture: wall-clock reads inside simulator code must be
+// flagged. Not compiled — parsed by test_sim_lint.cc.
+#include <chrono>
+#include <ctime>
+
+long
+now()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::high_resolution_clock::now();
+    (void)t0;
+    (void)t1;
+    return time(nullptr);
+}

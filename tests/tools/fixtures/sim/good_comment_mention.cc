@@ -1,0 +1,20 @@
+// sim-lint fixture: banned tokens inside comments and string literals
+// must NOT be flagged (the linter strips them before matching).
+// For instance this mention of std::mt19937, std::rand and
+// steady_clock is documentation, not use.
+// Not compiled — parsed by test_sim_lint.cc.
+#include <cstdint>
+
+/* Block comments too: random_device, high_resolution_clock. */
+const char *
+bannedTokensInStrings()
+{
+    return "std::rand() and system_clock inside a string literal";
+}
+
+std::uint64_t
+operandParade(std::uint64_t operand)
+{
+    // "operand(" must not match the rand() pattern.
+    return operand;
+}

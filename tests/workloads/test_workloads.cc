@@ -88,8 +88,8 @@ TEST_P(WorkloadRuns, WavesAreReplayableAcrossDevices)
 
 INSTANTIATE_TEST_SUITE_P(
     AllInstances, WorkloadRuns, ::testing::ValuesIn(workloadNames()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        std::string name = param_info.param;
         for (auto &ch : name) {
             if (ch == '-')
                 ch = '_';
