@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# docs-check: keep the docs and the build in lockstep.
+#
+# Forward rule: every bench target (bench/CMakeLists.txt) and example
+# (examples/CMakeLists.txt) must be mentioned in EXPERIMENTS.md or
+# DESIGN.md — an undocumented binary is a doc gap.
+#
+# Reverse rules: every `bench_*` token and every `examples/<name>`
+# reference in the docs must name a real build target, and every
+# `--flag` inside a laperm_sim fenced code block in the docs must be a
+# real laperm_sim flag — a stale doc reference is a doc bug.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+    echo "docs-check: $*" >&2
+    fail=1
+}
+
+docs="EXPERIMENTS.md DESIGN.md"
+all_docs="README.md EXPERIMENTS.md DESIGN.md"
+
+# --- Collect build targets ---------------------------------------------
+bench_targets=$(grep -oE '\bbench_[a-z0-9_]+\b' bench/CMakeLists.txt |
+    sort -u)
+# The examples CMakeLists declares its targets in one foreach(example
+# ...) list, possibly spanning lines.
+example_targets=$(tr '\n' ' ' <examples/CMakeLists.txt |
+    sed -E 's/.*foreach\(example ([a-z0-9_ ]+)\).*/\1/' |
+    tr -s ' ' '\n' | grep -vE '^$' | sort -u)
+
+[ -n "$bench_targets" ] || err "could not extract bench targets"
+[ -n "$example_targets" ] || err "could not extract example targets"
+
+# --- Forward: every binary is documented -------------------------------
+for t in $bench_targets; do
+    if ! grep -q "$t" $docs; then
+        err "bench target '$t' is not mentioned in EXPERIMENTS.md or DESIGN.md"
+    fi
+done
+for e in $example_targets; do
+    if ! grep -qE "(examples/)?$e" $docs; then
+        err "example '$e' is not mentioned in EXPERIMENTS.md or DESIGN.md"
+    fi
+done
+
+# --- Reverse: every documented binary exists ---------------------------
+# A trailing dot means a data file ("bench_output.txt"), not a target.
+doc_bench=$(grep -ohP '\bbench_[a-z0-9_]+\b(?!\.)' $all_docs | sort -u)
+for t in $doc_bench; do
+    if ! echo "$bench_targets" | grep -qx "$t"; then
+        err "docs reference unknown bench target '$t'"
+    fi
+done
+doc_examples=$(grep -ohE '\bexamples/[a-z0-9_]+\b' $all_docs |
+    sed 's#examples/##' | sort -u)
+for e in $doc_examples; do
+    # Accept source-file references (examples/foo.cpp strips to foo).
+    if ! echo "$example_targets" | grep -qx "$e"; then
+        err "docs reference unknown example '$e'"
+    fi
+done
+
+# --- Reverse: documented laperm_sim flags exist ------------------------
+# Flags mentioned in fenced code blocks that invoke laperm_sim must
+# appear as string literals in the driver source.
+sim_flags=$(grep -ohE '"--[a-z0-9-]+"' src/tools/laperm_sim.cc |
+    tr -d '"' | sort -u)
+doc_flags=$(awk '
+    /^```/ {
+        if (inblock && block ~ /laperm_sim/) print block
+        inblock = !inblock
+        block = ""
+        next
+    }
+    inblock { block = block "\n" $0 }
+    ' $all_docs | grep -oE '(^|[[:space:]])--[a-z0-9-]+' |
+    tr -d ' \t' | sort -u)
+for f in $doc_flags; do
+    if ! echo "$sim_flags" | grep -qx -- "$f"; then
+        err "docs reference unknown laperm_sim flag '$f'"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs-check: FAILED" >&2
+    exit 1
+fi
+echo "docs-check: OK ($(echo "$bench_targets" | wc -l) bench targets, \
+$(echo "$example_targets" | wc -l) examples, \
+$(echo "$doc_flags" | grep -c -- --) documented flags checked)"

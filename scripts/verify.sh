@@ -2,6 +2,7 @@
 # Tier-1 verification pipeline, staged and fail-fast:
 #
 #   lint         scripts/lint.sh (sim-lint + clang-tidy when present)
+#   docs-check   scripts/docs_check.sh (docs <-> binaries/flags in sync)
 #   build-werror strict warning set promoted to errors (LAPERM_WERROR)
 #   ctest        Release build + full test suite
 #   asan-ubsan   full test suite under AddressSanitizer + UBSan
@@ -38,6 +39,10 @@ stage_lint() {
     scripts/lint.sh
 }
 
+stage_docs() {
+    scripts/docs_check.sh
+}
+
 stage_werror() {
     cmake -B build-werror -S . -DCMAKE_BUILD_TYPE=Release \
         -DLAPERM_WERROR=ON &&
@@ -69,6 +74,7 @@ stage_tsan() {
 }
 
 run_stage lint stage_lint
+run_stage docs-check stage_docs
 run_stage build-werror stage_werror
 run_stage ctest stage_ctest
 run_stage asan-ubsan stage_asan

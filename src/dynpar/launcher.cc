@@ -7,9 +7,10 @@
 namespace laperm {
 
 Launcher::Launcher(const GpuConfig &cfg, Kdu &kdu, TbScheduler &sched,
-                   GpuStats &stats, std::uint64_t &undispatched_tbs)
+                   GpuStats &stats, std::uint64_t &undispatched_tbs,
+                   obs::ObserverHub &hub)
     : cfg_(cfg), kdu_(kdu), sched_(sched), stats_(stats),
-      undispatchedTbs_(undispatched_tbs)
+      undispatchedTbs_(undispatched_tbs), hub_(hub)
 {
 }
 
@@ -27,6 +28,11 @@ Launcher::hostLaunch(const LaunchRequest &req, Cycle now)
         kdu_.admitKernel(req.program->functionId(), req.threadsPerTb,
                          req.numTbs, false, now);
     ++stats_.kernelsLaunched;
+    if (hub_.enabled()) {
+        // Host launches admit in the same cycle they are queued.
+        hub_.launchAdmitted({now, kernel->id, 0, kNoTb, req.numTbs, false,
+                             false, now, now});
+    }
 
     DispatchUnit *unit = kdu_.createUnit();
     unit->kernel = kernel;
@@ -56,9 +62,14 @@ Launcher::deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
     p.priority = std::min(parent.priority + 1, cfg_.maxPriorityLevels);
     p.directParent = parent.uid;
     p.parentSmx = parent.smx;
+    p.queuedAt = now;
     p.readyAt = now + (cfg_.dynParModel == DynParModel::CDP
                            ? cfg_.cdpLaunchLatency
                            : cfg_.dtblLaunchLatency);
+    if (hub_.enabled()) {
+        hub_.launchQueued({now, 0, p.priority, p.directParent, req.numTbs,
+                           true, false, now, p.readyAt});
+    }
     kmu_.push(std::move(p));
 }
 
@@ -101,6 +112,11 @@ Launcher::tick(Cycle now)
         if (match) {
             std::uint32_t first = kdu_.coalesceTbs(match, p->req.numTbs);
             ++stats_.dtblCoalesced;
+            if (hub_.enabled()) {
+                hub_.launchAdmitted({now, match->id, p->priority,
+                                     p->directParent, p->req.numTbs, true,
+                                     true, p->queuedAt, p->readyAt});
+            }
             makeUnit(match, first, *p, now);
             kmu_.pop(p);
             return true;
@@ -119,6 +135,11 @@ Launcher::tick(Cycle now)
         kdu_.admitKernel(p->req.program->functionId(), p->req.threadsPerTb,
                          p->req.numTbs, true, now);
     ++stats_.kernelsLaunched;
+    if (hub_.enabled()) {
+        hub_.launchAdmitted({now, kernel->id, p->priority, p->directParent,
+                             p->req.numTbs, true, false, p->queuedAt,
+                             p->readyAt});
+    }
     makeUnit(kernel, 0, *p, now);
     kmu_.pop(p);
     return true;

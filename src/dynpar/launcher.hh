@@ -14,6 +14,7 @@
 #include "gpu/kdu.hh"
 #include "gpu/kmu.hh"
 #include "gpu/thread_block.hh"
+#include "obs/event.hh"
 #include "sched/tb_scheduler.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -25,7 +26,8 @@ class Launcher
 {
   public:
     Launcher(const GpuConfig &cfg, Kdu &kdu, TbScheduler &sched,
-             GpuStats &stats, std::uint64_t &undispatched_tbs);
+             GpuStats &stats, std::uint64_t &undispatched_tbs,
+             obs::ObserverHub &hub);
 
     /** Admit a host-launched kernel immediately (needs a KDU entry). */
     void hostLaunch(const LaunchRequest &req, Cycle now);
@@ -61,6 +63,7 @@ class Launcher
     TbScheduler &sched_;
     GpuStats &stats_;
     std::uint64_t &undispatchedTbs_;
+    obs::ObserverHub &hub_;
     Kmu kmu_;
 };
 

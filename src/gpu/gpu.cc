@@ -12,7 +12,7 @@ Gpu::Gpu(const GpuConfig &cfg)
     cfg_.validate();
     sched_ = TbScheduler::create(cfg_, *this);
     launcher_ = std::make_unique<Launcher>(cfg_, kdu_, *sched_, stats_,
-                                           undispatchedTbs_);
+                                           undispatchedTbs_, hub_);
     for (SmxId i = 0; i < cfg_.numSmx; ++i)
         smxs_.push_back(std::make_unique<Smx>(i, cfg_, mem_, *this));
     stats_.smx.resize(cfg_.numSmx);
@@ -23,10 +23,15 @@ Gpu::Gpu(const GpuConfig &cfg)
 Gpu::~Gpu() = default;
 
 void
-Gpu::setDispatchHook(DispatchHook hook, void *ctx)
+Gpu::addDispatchHook(DispatchHook hook, void *ctx)
 {
-    dispatchHook_ = hook;
-    dispatchHookCtx_ = ctx;
+    dispatchHooks_.emplace_back(hook, ctx);
+}
+
+void
+Gpu::setLocalityTracker(obs::LocalityTracker *tracker)
+{
+    mem_.setLocalityTracker(tracker);
 }
 
 void
@@ -166,10 +171,14 @@ Gpu::dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now)
     --undispatchedTbs_;
     ++activeTbs_;
 
-    if (dispatchHook_) {
-        tb->smx = smx;
-        tb->dispatchCycle = now;
-        dispatchHook_(dispatchHookCtx_, *tb);
+    tb->smx = smx;
+    tb->dispatchCycle = now;
+    for (const auto &[hook, ctx] : dispatchHooks_)
+        hook(ctx, *tb);
+    if (hub_.enabled()) {
+        hub_.tbDispatch({now, tb->uid, tb->kernel->id, tb->tbIndex, smx,
+                         tb->priority, tb->isDynamic, tb->directParent,
+                         now});
     }
     smxs_[smx]->acceptTb(std::move(tb), now);
     // A TB whose warps are all empty completes inside acceptTb; only
@@ -189,8 +198,13 @@ Gpu::deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
 }
 
 void
-Gpu::tbCompleted(ThreadBlock &tb, Cycle)
+Gpu::tbCompleted(ThreadBlock &tb, Cycle now)
 {
+    if (hub_.enabled()) {
+        hub_.tbRetire({now, tb.uid, tb.kernel->id, tb.tbIndex, tb.smx,
+                       tb.priority, tb.isDynamic, tb.directParent,
+                       tb.dispatchCycle});
+    }
     kdu_.tbFinished(tb.kernel);
     laperm_assert(activeTbs_ > 0, "active TB underflow");
     --activeTbs_;

@@ -15,6 +15,7 @@
 #include "gpu/kdu.hh"
 #include "gpu/smx.hh"
 #include "mem/mem_system.hh"
+#include "obs/event.hh"
 #include "sched/tb_scheduler.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -66,11 +67,27 @@ class Gpu : public SmxCallbacks, public DispatchContext
     std::uint64_t undispatchedTbs() const { return undispatchedTbs_; }
 
     /**
-     * Optional dispatch probe for tests/visualization: called as
-     * (tb_uid, kernel_id, tb_index, smx, cycle, priority, parent).
+     * Optional dispatch probe for tests/visualization. Any number of
+     * hooks may be attached; they are invoked in attachment order on
+     * every TB dispatch.
      */
     using DispatchHook = void (*)(void *ctx, const ThreadBlock &tb);
-    void setDispatchHook(DispatchHook hook, void *ctx);
+    void addDispatchHook(DispatchHook hook, void *ctx);
+    /** Historical name; attaches like addDispatchHook (never replaces). */
+    void setDispatchHook(DispatchHook hook, void *ctx)
+    {
+        addDispatchHook(hook, ctx);
+    }
+
+    /** Attach-point for structured observers (DESIGN.md §8). */
+    obs::ObserverHub &observers() override { return hub_; }
+
+    /**
+     * Attach locality-attribution counters; the memory system reports
+     * every L1/L2 access to it. Pass nullptr to detach. The tracker
+     * must outlive the run.
+     */
+    void setLocalityTracker(obs::LocalityTracker *tracker);
 
     // --- DispatchContext ---
     std::uint32_t numSmx() const override { return cfg_.numSmx; }
@@ -115,8 +132,8 @@ class Gpu : public SmxCallbacks, public DispatchContext
     std::uint64_t activeTbs_ = 0;
     std::uint64_t issuedInstSnapshot_ = 0;
 
-    DispatchHook dispatchHook_ = nullptr;
-    void *dispatchHookCtx_ = nullptr;
+    std::vector<std::pair<DispatchHook, void *>> dispatchHooks_;
+    obs::ObserverHub hub_;
 };
 
 } // namespace laperm

@@ -25,6 +25,7 @@ struct PendingLaunch
     std::uint32_t priority = 0;
     TbUid directParent = kNoTb;
     SmxId parentSmx = kNoSmx;
+    Cycle queuedAt = 0; ///< when the launch op reached the KMU
     Cycle readyAt = 0;
     std::uint64_t seq = 0;
     bool stallCounted = false; ///< already counted a KDU-full stall

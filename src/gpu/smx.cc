@@ -121,13 +121,15 @@ Smx::executeOp(Warp &warp, Cycle now)
         // resumes when the last outstanding load returns. Consecutive
         // load instructions issue back-to-back (compiler-scheduled
         // memory-level parallelism) up to the per-warp MLP window.
+        const obs::MemAccessor acc{warp.tb->uid, warp.tb->directParent,
+                                   warp.tb->isDynamic};
         Cycle done = now + 1;
         Cycle issue = now;
         std::uint32_t batched = 1;
         const WarpOp *cur = &op;
         for (;;) {
             for (Addr line : cur->lines)
-                done = std::max(done, mem_.load(id_, line, issue++));
+                done = std::max(done, mem_.load(id_, line, issue++, &acc));
             if (batched >= cfg_.warpMlpWindow ||
                 warp.pc >= warp.ops.size() ||
                 warp.ops[warp.pc].kind != OpKind::Load) {
@@ -144,9 +146,11 @@ Smx::executeOp(Warp &warp, Cycle now)
       case OpKind::Store: {
         // Stores retire at issue (no register dependence); the warp is
         // only held for LSU throughput.
+        const obs::MemAccessor acc{warp.tb->uid, warp.tb->directParent,
+                                   warp.tb->isDynamic};
         Cycle issue = now;
         for (Addr line : op.lines)
-            mem_.store(id_, line, issue++);
+            mem_.store(id_, line, issue++, &acc);
         warp.readyAt = now + std::max<std::size_t>(1, op.lines.size());
         break;
       }

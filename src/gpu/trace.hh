@@ -33,8 +33,9 @@ struct DispatchEvent
 };
 
 /**
- * Attaches to a Gpu's dispatch hook and accumulates events. One
- * recorder per Gpu (the hook slot is single-occupancy).
+ * Attaches to a Gpu's dispatch hooks and accumulates events. Any
+ * number of recorders and other hooks may share a Gpu; each receives
+ * every dispatch in attachment order.
  */
 class DispatchTrace
 {

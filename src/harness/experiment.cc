@@ -10,6 +10,8 @@
 #include "common/log.hh"
 #include "gpu/gpu.hh"
 #include "harness/thread_pool.hh"
+#include "obs/locality.hh"
+#include "obs/trace_collector.hh"
 #include "workloads/registry.hh"
 
 namespace laperm {
@@ -31,11 +33,52 @@ paperConfig()
     return cfg;
 }
 
+namespace {
+
+/**
+ * Per-cell trace opt-in for sweeps: when LAPERM_TRACE_DIR is set, every
+ * runOne writes its observability artifacts into that directory under a
+ * deterministic name derived from the cell coordinates. Purely
+ * additive: RunResult (and therefore the TSV cache) is unaffected, and
+ * each cell owns its collector, so the parallel sweep stays
+ * byte-deterministic at any worker count.
+ */
+std::string
+traceDir()
+{
+    const char *dir = std::getenv("LAPERM_TRACE_DIR");
+    return dir && *dir ? dir : std::string();
+}
+
+} // namespace
+
 RunResult
 runOne(const Workload &workload, const GpuConfig &cfg)
 {
     Gpu gpu(cfg);
+    const std::string trace_dir = traceDir();
+    std::unique_ptr<obs::TraceCollector> collector;
+    std::unique_ptr<obs::LocalityTracker> locality;
+    if (!trace_dir.empty()) {
+        collector = std::make_unique<obs::TraceCollector>();
+        gpu.observers().attach(collector.get());
+        locality =
+            std::make_unique<obs::LocalityTracker>(gpu.mem().numL1());
+        gpu.setLocalityTracker(locality.get());
+    }
     gpu.runWaves(workload.waves());
+    if (collector) {
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir, ec);
+        const std::string base =
+            logFormat("%s/%s_%s_%s", trace_dir.c_str(),
+                      workload.fullName().c_str(),
+                      toString(cfg.dynParModel), toString(cfg.tbPolicy));
+        collector->writeChromeTrace(base + ".trace.json");
+        collector->writeIntervalTsv(base + ".intervals.tsv");
+        collector->writeLaunchLatencyTsv(base + ".latency.tsv");
+        locality->writeTsv(base + ".locality.tsv");
+    }
     const GpuStats &s = gpu.stats();
 
     RunResult r;

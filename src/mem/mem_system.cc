@@ -28,7 +28,8 @@ MemSystem::MemSystem(const GpuConfig &cfg)
 }
 
 Cycle
-MemSystem::l2Access(Addr line, Cycle now, bool is_store)
+MemSystem::l2Access(Addr line, Cycle now, bool is_store,
+                    const obs::MemAccessor *who)
 {
     // Bank queueing: the request cannot be looked up before its bank is
     // free; each access occupies the bank for a service interval.
@@ -38,6 +39,8 @@ MemSystem::l2Access(Addr line, Cycle now, bool is_store)
 
     CacheAccessResult res = is_store ? l2_->lookupStore(line, arrival)
                                      : l2_->lookupLoad(line, arrival);
+    if (loc_ && who)
+        loc_->onL2Access(line, res.hit, *who);
     if (res.hit)
         return arrival + cfg_.l2HitLatency;
     if (res.mshrMerge)
@@ -60,26 +63,33 @@ MemSystem::l2Access(Addr line, Cycle now, bool is_store)
 }
 
 Cycle
-MemSystem::load(SmxId smx, Addr line, Cycle now)
+MemSystem::load(SmxId smx, Addr line, Cycle now,
+                const obs::MemAccessor *who)
 {
     Cache &l1 = *l1s_[l1Index(smx)];
     CacheAccessResult res = l1.lookupLoad(line, now);
+    if (loc_ && who)
+        loc_->onL1Access(l1Index(smx), line, res.hit, *who);
     if (res.hit)
         return now + cfg_.l1HitLatency;
     if (res.mshrMerge)
         return std::max(res.fillReady, now + cfg_.l1HitLatency);
 
-    Cycle ready = l2Access(line, now, false);
+    Cycle ready = l2Access(line, now, false, who);
     l1.allocate(line, ready, now, false);
     return ready;
 }
 
 Cycle
-MemSystem::store(SmxId smx, Addr line, Cycle now)
+MemSystem::store(SmxId smx, Addr line, Cycle now,
+                 const obs::MemAccessor *who)
 {
     Cache &l1 = *l1s_[l1Index(smx)];
-    l1.lookupStore(line, now); // write-evict, write-through
-    return l2Access(line, now, true);
+    // Write-evict L1 stores count neither accesses nor hits, so they
+    // feed no L1 locality attribution either; the L2 access below
+    // still updates the L2-level last-toucher record.
+    l1.lookupStore(line, now);
+    return l2Access(line, now, true, who);
 }
 
 void

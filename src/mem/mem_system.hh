@@ -15,6 +15,7 @@
 #include "common/types.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "obs/locality.hh"
 #include "sim/config.hh"
 
 namespace laperm {
@@ -30,16 +31,30 @@ class MemSystem
 
     /**
      * Issue a coalesced 128B load from @p smx at @p now.
+     * @param who optional accessor identity for locality attribution;
+     *   ignored unless a tracker is attached.
      * @return cycle at which the requesting warp can proceed.
      */
-    Cycle load(SmxId smx, Addr line, Cycle now);
+    Cycle load(SmxId smx, Addr line, Cycle now,
+               const obs::MemAccessor *who = nullptr);
 
     /**
      * Issue a coalesced 128B store from @p smx at @p now. Stores are
      * fire-and-forget for the warp but consume L2/DRAM bandwidth.
      * @return completion cycle (for memory-fence modeling/tests).
      */
-    Cycle store(SmxId smx, Addr line, Cycle now);
+    Cycle store(SmxId smx, Addr line, Cycle now,
+                const obs::MemAccessor *who = nullptr);
+
+    /**
+     * Attach locality-attribution counters (nullptr to detach). Pure
+     * observation: timing is unaffected. The tracker must have been
+     * constructed with numL1() instances and outlive this object.
+     */
+    void setLocalityTracker(obs::LocalityTracker *tracker)
+    {
+        loc_ = tracker;
+    }
 
     void reset();
 
@@ -69,13 +84,15 @@ class MemSystem
     }
 
     /** L2 access shared by loads and stores; returns data-ready cycle. */
-    Cycle l2Access(Addr line, Cycle now, bool is_store);
+    Cycle l2Access(Addr line, Cycle now, bool is_store,
+                   const obs::MemAccessor *who);
 
     GpuConfig cfg_;
     std::vector<std::unique_ptr<Cache>> l1s_;
     std::unique_ptr<Cache> l2_;
     std::optional<Dram> dram_;
     std::vector<Cycle> l2BankFreeAt_;
+    obs::LocalityTracker *loc_ = nullptr;
 };
 
 } // namespace laperm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Observability event taxonomy: the flat, cycle-stamped records the
+ * simulator emits into attached observers (DESIGN.md §8). Every
+ * timestamp is a simulated cycle — observers never read wall-clock
+ * time, so attaching one cannot perturb determinism.
+ */
+
+#ifndef LAPERM_OBS_EVENT_HH
+#define LAPERM_OBS_EVENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace laperm {
+namespace obs {
+
+/** A TB lifecycle event (dispatch or retire). */
+struct TbEvent
+{
+    Cycle cycle = 0;          ///< when the event happened
+    TbUid uid = 0;
+    KernelId kernel = 0;
+    std::uint32_t tbIndex = 0;
+    SmxId smx = kNoSmx;
+    std::uint32_t priority = 0;
+    bool isDynamic = false;
+    TbUid directParent = kNoTb;
+    Cycle dispatchCycle = 0;  ///< == cycle for dispatches
+};
+
+/**
+ * A kernel/TB-group launch event. Admission events are self-contained:
+ * they carry the queue timestamp so launch-latency analysis (paper
+ * Section IV-D) needs no cross-event matching.
+ */
+struct LaunchEvent
+{
+    Cycle cycle = 0;          ///< when queued / admitted
+    KernelId kernel = 0;      ///< admitted kernel id (0 while queued)
+    std::uint32_t priority = 0;
+    TbUid parent = kNoTb;     ///< launching TB (kNoTb for host)
+    std::uint32_t numTbs = 0;
+    bool isDevice = false;
+    bool coalesced = false;   ///< DTBL group merged onto a running kernel
+    Cycle queuedAt = 0;       ///< when the launch op reached the KMU
+    Cycle latencyReadyAt = 0; ///< queuedAt + modeled launch latency
+};
+
+/** An Adaptive-Bind stage-3 event (Figure 6). */
+struct StealEvent
+{
+    Cycle cycle = 0;
+    SmxId smx = kNoSmx;            ///< the idle SMX doing the stealing
+    std::uint32_t cluster = 0;     ///< its own (empty) cluster
+    std::uint32_t backupCluster = 0; ///< the cluster it drains
+    bool adoption = false; ///< true: backup recorded; false: TB stolen
+};
+
+/**
+ * Observer interface. All callbacks default to no-ops so observers
+ * override only what they consume. Implementations must be pure
+ * observation: no simulator state may depend on an observer's
+ * behaviour, and all output must be a deterministic function of the
+ * event stream (see DESIGN.md §8 determinism rules).
+ */
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    virtual void onTbDispatch(const TbEvent &) {}
+    virtual void onTbRetire(const TbEvent &) {}
+    virtual void onLaunchQueued(const LaunchEvent &) {}
+    virtual void onLaunchAdmitted(const LaunchEvent &) {}
+    virtual void onSteal(const StealEvent &) {}
+};
+
+/**
+ * Fan-out point the simulator emits into. One hub per Gpu; any number
+ * of observers. With no observers attached every emit is a single
+ * empty-vector test, which keeps the tracing-disabled hot path free of
+ * observable overhead.
+ */
+class ObserverHub
+{
+  public:
+    void attach(SimObserver *observer) { observers_.push_back(observer); }
+
+    bool enabled() const { return !observers_.empty(); }
+
+    void tbDispatch(const TbEvent &e)
+    {
+        for (SimObserver *o : observers_)
+            o->onTbDispatch(e);
+    }
+    void tbRetire(const TbEvent &e)
+    {
+        for (SimObserver *o : observers_)
+            o->onTbRetire(e);
+    }
+    void launchQueued(const LaunchEvent &e)
+    {
+        for (SimObserver *o : observers_)
+            o->onLaunchQueued(e);
+    }
+    void launchAdmitted(const LaunchEvent &e)
+    {
+        for (SimObserver *o : observers_)
+            o->onLaunchAdmitted(e);
+    }
+    void steal(const StealEvent &e)
+    {
+        for (SimObserver *o : observers_)
+            o->onSteal(e);
+    }
+
+  private:
+    std::vector<SimObserver *> observers_;
+};
+
+} // namespace obs
+} // namespace laperm
+
+#endif // LAPERM_OBS_EVENT_HH

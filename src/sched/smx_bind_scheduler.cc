@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/event.hh"
 
 namespace laperm {
 
@@ -111,6 +112,10 @@ SmxBindScheduler::dispatchOne(Cycle now)
         if (b >= 0) {
             backup_[c] = b;
             ++ctx_.mutableStats().backupAdoptions;
+            if (ctx_.observers().enabled()) {
+                ctx_.observers().steal(
+                    {now, smx, c, static_cast<std::uint32_t>(b), true});
+            }
         }
     }
     if (b < 0)
@@ -125,6 +130,10 @@ SmxBindScheduler::dispatchOne(Cycle now)
         return false;
     ctx_.dispatchTb(*unit, smx, now);
     ++ctx_.mutableStats().unboundDispatches;
+    if (ctx_.observers().enabled()) {
+        ctx_.observers().steal(
+            {now, smx, c, static_cast<std::uint32_t>(bi), false});
+    }
     perCluster_[bi].popIfExhausted(unit);
     return true;
 }

@@ -17,6 +17,10 @@
 
 namespace laperm {
 
+namespace obs {
+class ObserverHub;
+} // namespace obs
+
 /** What a TB scheduler may do to the device. */
 class DispatchContext
 {
@@ -32,6 +36,9 @@ class DispatchContext
     virtual void dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now) = 0;
 
     virtual GpuStats &mutableStats() = 0;
+
+    /** Observability fan-out (DESIGN.md §8); policies may emit into it. */
+    virtual obs::ObserverHub &observers() = 0;
 };
 
 /**

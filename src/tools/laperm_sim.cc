@@ -20,6 +20,14 @@
  *     --warp-sched W    gto | lrr
  *     --csv             one CSV row per run instead of the report
  *     --list            list workload names and exit
+ *
+ * Observability outputs (DESIGN.md §8; any combination may be given):
+ *     --trace FILE          dispatch-event CSV (legacy flat format)
+ *     --trace-json FILE     Chrome-trace/Perfetto JSON timeline
+ *     --trace-intervals FILE per-interval metrics TSV
+ *     --interval N          interval length in cycles (default 1000)
+ *     --latency-hist FILE   launch-latency histogram TSV (Sec. IV-D)
+ *     --locality FILE       locality-attribution counter TSV
  */
 
 #include <cstdio>
@@ -31,6 +39,8 @@
 #include "common/log.hh"
 #include "gpu/gpu.hh"
 #include "gpu/trace.hh"
+#include "obs/locality.hh"
+#include "obs/trace_collector.hh"
 #include "harness/experiment.hh"
 #include "harness/table.hh"
 #include "workloads/registry.hh"
@@ -48,7 +58,18 @@ struct Options
     std::uint64_t seed = 1;
     GpuConfig cfg;
     bool csv = false;
-    std::string tracePath; ///< --trace FILE: dispatch-event CSV
+    std::string tracePath;     ///< --trace FILE: dispatch-event CSV
+    std::string traceJsonPath; ///< --trace-json FILE
+    std::string intervalsPath; ///< --trace-intervals FILE
+    Cycle interval = 1000;     ///< --interval N
+    std::string latencyPath;   ///< --latency-hist FILE
+    std::string localityPath;  ///< --locality FILE
+
+    bool wantsCollector() const
+    {
+        return !traceJsonPath.empty() || !intervalsPath.empty() ||
+               !latencyPath.empty();
+    }
 };
 
 [[noreturn]] void
@@ -60,7 +81,10 @@ usage(const char *argv0)
                  "[--scale tiny|small|full] [--seed N] [--smx N] "
                  "[--l1-kb N] [--l2-kb N] [--levels N] "
                  "[--cdp-latency N] [--dtbl-latency N] "
-                 "[--warp-sched gto|lrr] [--csv] [--list]\n",
+                 "[--warp-sched gto|lrr] [--csv] [--list] "
+                 "[--trace FILE] [--trace-json FILE] "
+                 "[--trace-intervals FILE] [--interval N] "
+                 "[--latency-hist FILE] [--locality FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -198,6 +222,16 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (!std::strcmp(a, "--trace")) {
             opt.tracePath = next_arg(i);
+        } else if (!std::strcmp(a, "--trace-json")) {
+            opt.traceJsonPath = next_arg(i);
+        } else if (!std::strcmp(a, "--trace-intervals")) {
+            opt.intervalsPath = next_arg(i);
+        } else if (!std::strcmp(a, "--interval")) {
+            opt.interval = parseU32(next_arg(i), "--interval");
+        } else if (!std::strcmp(a, "--latency-hist")) {
+            opt.latencyPath = next_arg(i);
+        } else if (!std::strcmp(a, "--locality")) {
+            opt.localityPath = next_arg(i);
         } else if (!std::strcmp(a, "--csv")) {
             opt.csv = true;
         } else if (!std::strcmp(a, "--list")) {
@@ -224,6 +258,20 @@ main(int argc, char **argv)
         std::printf("workload,model,policy,cycles,ipc,l1,l2,util,"
                     "imbalance,launches,dynamicTbs,bound,overflows\n");
     }
+    // With --workload all, each per-workload output file is prefixed
+    // with the workload name ("bfs-citation.<file>").
+    auto out_path = [&](const std::string &name,
+                        const std::string &path) {
+        return names.size() == 1 ? path : name + "." + path;
+    };
+    auto write_or_warn = [](bool ok, const char *what,
+                            const std::string &path) {
+        if (!ok)
+            laperm_warn("could not write %s '%s'", what, path.c_str());
+        else
+            std::fprintf(stderr, "%s: %s\n", what, path.c_str());
+    };
+
     for (const auto &name : names) {
         auto w = createWorkload(name);
         w->setup(opt.scale, opt.seed);
@@ -231,17 +279,49 @@ main(int argc, char **argv)
         std::unique_ptr<DispatchTrace> trace;
         if (!opt.tracePath.empty())
             trace = std::make_unique<DispatchTrace>(gpu);
+        std::unique_ptr<obs::TraceCollector> collector;
+        if (opt.wantsCollector()) {
+            collector = std::make_unique<obs::TraceCollector>();
+            gpu.observers().attach(collector.get());
+        }
+        std::unique_ptr<obs::LocalityTracker> locality;
+        if (!opt.localityPath.empty()) {
+            locality =
+                std::make_unique<obs::LocalityTracker>(gpu.mem().numL1());
+            gpu.setLocalityTracker(locality.get());
+        }
         gpu.runWaves(w->waves());
         report(opt, *w, gpu.stats());
         if (trace) {
-            std::string path = names.size() == 1
-                                   ? opt.tracePath
-                                   : name + "." + opt.tracePath;
+            std::string path = out_path(name, opt.tracePath);
             if (!trace->writeCsv(path))
                 laperm_warn("could not write trace '%s'", path.c_str());
             else
                 std::fprintf(stderr, "dispatch trace: %s (%zu events)\n",
                              path.c_str(), trace->events().size());
+        }
+        if (collector) {
+            if (!opt.traceJsonPath.empty()) {
+                std::string path = out_path(name, opt.traceJsonPath);
+                write_or_warn(collector->writeChromeTrace(path),
+                              "chrome trace", path);
+            }
+            if (!opt.intervalsPath.empty()) {
+                std::string path = out_path(name, opt.intervalsPath);
+                write_or_warn(
+                    collector->writeIntervalTsv(path, opt.interval),
+                    "interval metrics", path);
+            }
+            if (!opt.latencyPath.empty()) {
+                std::string path = out_path(name, opt.latencyPath);
+                write_or_warn(collector->writeLaunchLatencyTsv(path),
+                              "launch-latency histogram", path);
+            }
+        }
+        if (locality) {
+            std::string path = out_path(name, opt.localityPath);
+            write_or_warn(locality->writeTsv(path),
+                          "locality attribution", path);
         }
     }
     return 0;

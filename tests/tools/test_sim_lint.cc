@@ -53,6 +53,7 @@ TEST(SimLintScope, PathClassification)
     EXPECT_TRUE(classifyPath("/abs/repo/src/mem/cache.hh").restricted);
     EXPECT_TRUE(classifyPath("src/gpu/smx.cc").restricted);
     EXPECT_TRUE(classifyPath("src/dynpar/launcher.cc").restricted);
+    EXPECT_TRUE(classifyPath("src/obs/trace_collector.cc").restricted);
     EXPECT_FALSE(classifyPath("src/harness/experiment.cc").restricted);
     EXPECT_FALSE(classifyPath("src/common/rng.cc").restricted);
     // "memx" or a file merely named gpu.cc must not count.
