@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Wall-clock self-benchmark of the serving subsystem: drives an
+ * in-process SimService with tiny-scale requests and writes
+ * BENCH_serve.json with
+ *   - cold throughput (every request simulates),
+ *   - cached throughput (every request is a cache hit),
+ *   - the shed rate under deliberate overload (capacity 1, slow
+ *     executions, a burst of distinct requests).
+ *
+ * Environment:
+ *   LAPERM_BENCH_REQUESTS  requests per phase (default 32)
+ *   LAPERM_JOBS            service worker threads (default 2)
+ *
+ * Exits nonzero if any served payload diverges from the direct run or
+ * the overload burst fails to shed.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "serve/service.hh"
+#include "serve/sim_request.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+using namespace laperm::serve;
+
+namespace {
+
+SimRequest
+tinyRequest(std::uint64_t seed)
+{
+    SimRequest req;
+    req.workload = "bfs-cage";
+    req.scale = Scale::Tiny;
+    req.seed = seed;
+    req.cfg = paperConfig();
+    req.cfg.dynParModel = req.model;
+    req.cfg.tbPolicy = req.policy;
+    req.cfg.seed = seed;
+    return req;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    std::uint64_t requests = 32;
+    if (const char *env = std::getenv("LAPERM_BENCH_REQUESTS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            requests = static_cast<std::uint64_t>(v);
+    }
+    unsigned jobs = 2;
+    if (const char *env = std::getenv("LAPERM_JOBS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            jobs = static_cast<unsigned>(v);
+    }
+
+    const std::string cacheDir = "bench_serve_cache.tmp";
+    std::filesystem::remove_all(cacheDir);
+
+    bool identical = true;
+
+    // Phase 1+2: cold then cached, same service, same request set.
+    double coldSec = 0.0;
+    double cachedSec = 0.0;
+    {
+        ServiceOptions opts;
+        opts.jobs = jobs;
+        opts.cacheDir = cacheDir;
+        opts.fingerprint = "bench";
+        opts.queueCapacity = requests + 1;
+        SimService svc(opts);
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < requests; ++i) {
+            const SimRequest req = tinyRequest(i + 1);
+            const RunOutcome out = svc.run(req);
+            if (out.status != RunStatus::Ok || out.cached) {
+                std::fprintf(stderr, "cold request %llu failed\n",
+                             static_cast<unsigned long long>(i));
+                identical = false;
+            }
+        }
+        coldSec = secondsSince(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < requests; ++i) {
+            const SimRequest req = tinyRequest(i + 1);
+            const RunOutcome out = svc.run(req);
+            if (out.status != RunStatus::Ok || !out.cached) {
+                std::fprintf(stderr, "cached request %llu missed\n",
+                             static_cast<unsigned long long>(i));
+                identical = false;
+            }
+        }
+        cachedSec = secondsSince(t0);
+
+        // Spot-check the determinism contract against a direct run.
+        const SimRequest probe = tinyRequest(1);
+        auto w = createWorkload(probe.workload);
+        w->setup(probe.scale, probe.seed);
+        const std::string direct =
+            runOneRecord(*w, probe.cfg, std::string()).encode();
+        const RunOutcome served = svc.run(probe);
+        if (served.status != RunStatus::Ok || served.payload != direct) {
+            std::fprintf(stderr,
+                         "FAIL: served payload differs from direct\n");
+            identical = false;
+        }
+    }
+
+    // Phase 3: overload. One slow worker, capacity 1, concurrent burst
+    // of distinct requests -> most must shed, none may crash or hang.
+    std::uint64_t shedCount = 0;
+    std::uint64_t okCount = 0;
+    {
+        ServiceOptions opts;
+        opts.jobs = 1;
+        opts.cacheDir = cacheDir + "/overload";
+        opts.fingerprint = "bench";
+        opts.queueCapacity = 1;
+        opts.testExecDelayMs = 100;
+        SimService svc(opts);
+
+        std::vector<std::thread> burst;
+        std::vector<RunStatus> status(requests, RunStatus::Error);
+        for (std::uint64_t i = 0; i < requests; ++i) {
+            burst.emplace_back([&, i] {
+                status[i] = svc.run(tinyRequest(1000 + i)).status;
+            });
+        }
+        for (auto &t : burst)
+            t.join();
+        for (const RunStatus s : status) {
+            if (s == RunStatus::Shed)
+                ++shedCount;
+            else if (s == RunStatus::Ok)
+                ++okCount;
+        }
+    }
+    const double shedRate =
+        static_cast<double>(shedCount) / static_cast<double>(requests);
+
+    std::filesystem::remove_all(cacheDir);
+
+    const double n = static_cast<double>(requests);
+    std::ofstream json("BENCH_serve.json");
+    json << "{\n"
+         << "  \"bench\": \"serve_throughput\",\n"
+         << "  \"requests\": " << requests << ",\n"
+         << "  \"jobs\": " << jobs << ",\n"
+         << "  \"seconds_cold\": " << coldSec << ",\n"
+         << "  \"req_per_sec_cold\": " << n / coldSec << ",\n"
+         << "  \"seconds_cached\": " << cachedSec << ",\n"
+         << "  \"req_per_sec_cached\": " << n / cachedSec << ",\n"
+         << "  \"cache_speedup\": " << coldSec / cachedSec << ",\n"
+         << "  \"overload_ok\": " << okCount << ",\n"
+         << "  \"overload_shed\": " << shedCount << ",\n"
+         << "  \"shed_rate\": " << shedRate << ",\n"
+         << "  \"payload_identical\": " << (identical ? "true" : "false")
+         << "\n"
+         << "}\n";
+    json.close();
+
+    std::printf("serve: %llu requests, %u jobs\n",
+                static_cast<unsigned long long>(requests), jobs);
+    std::printf("  cold  : %.3f s  (%.1f req/s)\n", coldSec, n / coldSec);
+    std::printf("  cached: %.3f s  (%.1f req/s, %.1fx)\n", cachedSec,
+                n / cachedSec, coldSec / cachedSec);
+    std::printf("  overload: %llu ok, %llu shed (rate %.2f)\n",
+                static_cast<unsigned long long>(okCount),
+                static_cast<unsigned long long>(shedCount), shedRate);
+    std::printf("  wrote BENCH_serve.json\n");
+
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: determinism contract violated\n");
+        return 1;
+    }
+    if (shedCount == 0 && requests > 2) {
+        std::fprintf(stderr, "FAIL: overload burst never shed\n");
+        return 1;
+    }
+    return 0;
+}

@@ -6,9 +6,15 @@
 # DESIGN.md — an undocumented binary is a doc gap.
 #
 # Reverse rules: every `bench_*` token and every `examples/<name>`
-# reference in the docs must name a real build target, and every
-# `--flag` inside a laperm_sim fenced code block in the docs must be a
-# real laperm_sim flag — a stale doc reference is a doc bug.
+# reference in the docs must name a real build target; every `--flag`
+# inside a fenced code block that invokes a laperm CLI binary
+# (laperm_sim, laperm_submit, laperm_served) must be a real flag of one
+# of the binaries that block mentions; and every protocol verb
+# (`"op":"..."`) in the docs must exist in serve/protocol.hh — a stale
+# doc reference is a doc bug.
+#
+# Serving rules: the serving binaries and every protocol verb declared
+# in src/serve/protocol.hh must be documented (README.md or DESIGN.md).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,14 +68,75 @@ for e in $doc_examples; do
     fi
 done
 
-# --- Reverse: documented laperm_sim flags exist ------------------------
-# Flags mentioned in fenced code blocks that invoke laperm_sim must
-# appear as string literals in the driver source.
+# --- Forward: serving binaries and protocol verbs are documented -------
+for b in laperm_served laperm_submit; do
+    if ! grep -q "$b" $all_docs; then
+        err "binary '$b' is not mentioned in any doc"
+    fi
+done
+verbs=$(grep -oE 'kVerb[A-Za-z]+ = "[a-z]+"' src/serve/protocol.hh |
+    grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
+[ -n "$verbs" ] || err "could not extract protocol verbs"
+for v in $verbs; do
+    if ! grep -q "\"op\":\"$v\"" DESIGN.md; then
+        err "protocol verb '$v' is not documented in DESIGN.md"
+    fi
+done
+
+# --- Reverse: documented protocol verbs exist ---------------------------
+doc_verbs=$(grep -ohE '"op":"[a-z]+"' $all_docs |
+    sed -E 's/.*:"([a-z]+)"/\1/' | sort -u)
+for v in $doc_verbs; do
+    if ! echo "$verbs" | grep -qx "$v"; then
+        err "docs reference unknown protocol verb '$v'"
+    fi
+done
+
+# --- Reverse: documented CLI flags exist --------------------------------
+# Every fenced code block is classified by which laperm CLI binaries it
+# mentions; each `--flag` in the block must be a string literal in at
+# least one of those binaries' sources.
 sim_flags=$(grep -ohE '"--[a-z0-9-]+"' src/tools/laperm_sim.cc |
     tr -d '"' | sort -u)
+submit_flags=$(grep -ohE '"--[a-z0-9-]+"' src/tools/laperm_submit.cc |
+    tr -d '"' | sort -u)
+served_flags=$(grep -ohE '"--[a-z0-9-]+"' src/tools/laperm_served.cc |
+    tr -d '"' | sort -u)
+bad_flags=$(awk \
+    -v sim="$sim_flags" -v submit="$submit_flags" -v served="$served_flags" '
+    function load(list, set,   n, a, i) {
+        n = split(list, a, "\n")
+        for (i = 1; i <= n; i++) set[a[i]] = 1
+    }
+    BEGIN { load(sim, simf); load(submit, subf); load(served, serf) }
+    function checkblock(   n, parts, i, f, ok, hasSim, hasSub, hasSer) {
+        hasSim = block ~ /laperm_sim([^a-z_]|$)/
+        hasSub = block ~ /laperm_submit/
+        hasSer = block ~ /laperm_served/
+        if (!hasSim && !hasSub && !hasSer) return
+        n = split(block, parts, /[[:space:]]+/)
+        for (i = 1; i <= n; i++) {
+            f = parts[i]
+            if (f !~ /^--[a-z0-9-]+$/) continue
+            ok = (hasSim && (f in simf)) || (hasSub && (f in subf)) ||
+                 (hasSer && (f in serf))
+            if (!ok) print f
+        }
+    }
+    /^```/ {
+        if (inblock) checkblock()
+        inblock = !inblock
+        block = ""
+        next
+    }
+    inblock { block = block "\n" $0 }
+    ' $all_docs | sort -u)
+for f in $bad_flags; do
+    err "docs reference flag '$f' unknown to the binaries in its code block"
+done
 doc_flags=$(awk '
     /^```/ {
-        if (inblock && block ~ /laperm_sim/) print block
+        if (inblock && block ~ /laperm_/) print block
         inblock = !inblock
         block = ""
         next
@@ -77,11 +144,6 @@ doc_flags=$(awk '
     inblock { block = block "\n" $0 }
     ' $all_docs | grep -oE '(^|[[:space:]])--[a-z0-9-]+' |
     tr -d ' \t' | sort -u)
-for f in $doc_flags; do
-    if ! echo "$sim_flags" | grep -qx -- "$f"; then
-        err "docs reference unknown laperm_sim flag '$f'"
-    fi
-done
 
 if [ "$fail" -ne 0 ]; then
     echo "docs-check: FAILED" >&2
@@ -89,4 +151,5 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "docs-check: OK ($(echo "$bench_targets" | wc -l) bench targets, \
 $(echo "$example_targets" | wc -l) examples, \
+$(echo "$verbs" | wc -l) protocol verbs, \
 $(echo "$doc_flags" | grep -c -- --) documented flags checked)"

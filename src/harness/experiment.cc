@@ -4,8 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "common/log.hh"
 #include "gpu/gpu.hh"
@@ -52,11 +50,11 @@ traceDir()
 
 } // namespace
 
-RunResult
-runOne(const Workload &workload, const GpuConfig &cfg)
+ResultRecord
+runOneRecord(const Workload &workload, const GpuConfig &cfg,
+             const std::string &trace_dir)
 {
     Gpu gpu(cfg);
-    const std::string trace_dir = traceDir();
     std::unique_ptr<obs::TraceCollector> collector;
     std::unique_ptr<obs::LocalityTracker> locality;
     if (!trace_dir.empty()) {
@@ -79,25 +77,14 @@ runOne(const Workload &workload, const GpuConfig &cfg)
         collector->writeLaunchLatencyTsv(base + ".latency.tsv");
         locality->writeTsv(base + ".locality.tsv");
     }
-    const GpuStats &s = gpu.stats();
+    return ResultRecord::fromStats(workload.fullName(), cfg.dynParModel,
+                                   cfg.tbPolicy, gpu.stats());
+}
 
-    RunResult r;
-    r.workload = workload.fullName();
-    r.model = cfg.dynParModel;
-    r.policy = cfg.tbPolicy;
-    r.ipc = s.ipc();
-    r.l1HitRate = s.l1Total().hitRate();
-    r.l2HitRate = s.l2.hitRate();
-    r.cycles = static_cast<double>(s.cycles);
-    r.smxUtilization = s.avgSmxUtilization();
-    r.smxImbalance = s.smxImbalance();
-    r.boundFraction = s.dynamicTbs
-                          ? static_cast<double>(s.boundDispatches) /
-                                static_cast<double>(s.dynamicTbs)
-                          : 0.0;
-    r.queueOverflows = static_cast<double>(s.queueOverflows);
-    r.kduFullStalls = static_cast<double>(s.kduFullStalls);
-    return r;
+RunResult
+runOne(const Workload &workload, const GpuConfig &cfg)
+{
+    return runOneRecord(workload, cfg, traceDir()).toRunResult();
 }
 
 namespace {
@@ -107,40 +94,20 @@ constexpr TbPolicy kPolicies[] = {TbPolicy::RR, TbPolicy::TbPri,
                                   TbPolicy::AdaptiveBind};
 constexpr DynParModel kModels[] = {DynParModel::CDP, DynParModel::DTBL};
 
-std::string
-cacheDir()
-{
-    const char *dir = std::getenv("LAPERM_CACHE_DIR");
-    return dir && *dir ? dir : "cache";
-}
-
 bool
 loadCache(const std::string &path,
           const std::vector<std::string> &names,
           std::vector<RunResult> &out)
 {
-    std::ifstream in(path);
-    if (!in)
+    // Fingerprint-gated load (harness/result_cache.hh): a TSV written
+    // by a different simulator build fails here and is regenerated.
+    ResultCache cache;
+    std::string payload;
+    if (!cache.loadFile(path, payload))
         return false;
     std::vector<RunResult> rows;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream ls(line);
-        RunResult r;
-        std::string model, policy;
-        int mi, pi;
-        if (!(ls >> r.workload >> mi >> pi >> r.ipc >> r.l1HitRate >>
-              r.l2HitRate >> r.cycles >> r.smxUtilization >>
-              r.smxImbalance >> r.boundFraction >> r.queueOverflows >>
-              r.kduFullStalls)) {
-            return false;
-        }
-        r.model = static_cast<DynParModel>(mi);
-        r.policy = static_cast<TbPolicy>(pi);
-        rows.push_back(std::move(r));
-    }
+    if (!decodeSweepTsv(payload, rows))
+        return false;
     // The cache is usable only if it covers the full request.
     for (const auto &name : names) {
         for (DynParModel m : kModels) {
@@ -165,21 +132,8 @@ loadCache(const std::string &path,
 void
 saveCache(const std::string &path, const std::vector<RunResult> &rows)
 {
-    std::error_code ec;
-    std::filesystem::create_directories(cacheDir(), ec);
-    std::ofstream outf(path);
-    if (!outf)
-        return;
-    outf << "# workload model policy ipc l1 l2 cycles util imbalance "
-            "bound overflows kduStalls\n";
-    for (const auto &r : rows) {
-        outf << r.workload << ' ' << static_cast<int>(r.model) << ' '
-             << static_cast<int>(r.policy) << ' ' << r.ipc << ' '
-             << r.l1HitRate << ' ' << r.l2HitRate << ' ' << r.cycles
-             << ' ' << r.smxUtilization << ' ' << r.smxImbalance << ' '
-             << r.boundFraction << ' ' << r.queueOverflows << ' '
-             << r.kduFullStalls << '\n';
-    }
+    ResultCache cache;
+    cache.storeFile(path, encodeSweepTsv(rows));
 }
 
 } // namespace
@@ -187,8 +141,8 @@ saveCache(const std::string &path, const std::vector<RunResult> &rows)
 std::string
 sweepCachePath(Scale scale, std::uint64_t seed)
 {
-    return logFormat("%s/laperm_results_%s_%llu.tsv", cacheDir().c_str(),
-                     toString(scale),
+    return logFormat("%s/laperm_results_%s_%llu.tsv",
+                     cacheRootDir().c_str(), toString(scale),
                      static_cast<unsigned long long>(seed));
 }
 

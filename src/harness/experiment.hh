@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/result_cache.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "workloads/workload.hh"
@@ -43,6 +44,17 @@ struct RunResult
 RunResult runOne(const Workload &workload, const GpuConfig &cfg);
 
 /**
+ * Run one configuration and return the full canonical record (every
+ * counter the CSV report and sweep TSV derive from). When @p trace_dir
+ * is non-empty, the observability artifacts of DESIGN.md §8 are
+ * written there under "<workload>_<model>_<policy>.*". This is the
+ * execution path the serving subsystem (src/serve) uses; runOne is a
+ * thin wrapper that honors LAPERM_TRACE_DIR instead.
+ */
+ResultRecord runOneRecord(const Workload &workload, const GpuConfig &cfg,
+                          const std::string &trace_dir);
+
+/**
  * Full sweep: every workload in @p names under every model x policy.
  *
  * Cells are independent simulations and execute on a thread pool, one
@@ -52,7 +64,10 @@ RunResult runOne(const Workload &workload, const GpuConfig &cfg);
  * @param use_cache read/write "laperm_results_<scale>_<seed>.tsv"
  *        under the cache directory — $LAPERM_CACHE_DIR, default
  *        "cache/" in the working directory — so the figure benches
- *        share one sweep (disable with LAPERM_NO_CACHE=1).
+ *        share one sweep (disable with LAPERM_NO_CACHE=1). Entries
+ *        embed the simulator fingerprint (harness/result_cache.hh);
+ *        a TSV written by a different simulator build is ignored and
+ *        regenerated rather than served stale.
  * @param jobs worker threads; 0 selects LAPERM_JOBS from the
  *        environment, falling back to hardware_concurrency().
  */

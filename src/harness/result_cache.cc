@@ -1,0 +1,335 @@
+#include "harness/result_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+
+#include "sim_fingerprint.hh"
+
+namespace laperm {
+
+namespace {
+
+constexpr const char kHeaderPrefix[] = "# laperm-cache fingerprint=";
+
+} // namespace
+
+std::string
+simFingerprint()
+{
+    const char *env = std::getenv("LAPERM_SIM_FINGERPRINT");
+    if (env && *env)
+        return env;
+    return LAPERM_SIM_FINGERPRINT;
+}
+
+std::string
+cacheRootDir()
+{
+    const char *dir = std::getenv("LAPERM_CACHE_DIR");
+    return dir && *dir ? dir : "cache";
+}
+
+std::uint64_t
+fnv1a64(const std::string &data, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (const char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+contentKey(const std::string &canonical)
+{
+    // Two independent FNV-1a passes give a 128-bit key; plenty for a
+    // cache namespace where collisions only cost a wrong cache hit on
+    // adversarial input, and the canonical strings are machine-built.
+    const std::uint64_t a = fnv1a64(canonical, 0xcbf29ce484222325ull);
+    const std::uint64_t b = fnv1a64(canonical, 0x9ae16a3b2f90404full);
+    return logFormat("%016llx%016llx", static_cast<unsigned long long>(a),
+                     static_cast<unsigned long long>(b));
+}
+
+ResultRecord
+ResultRecord::fromStats(const std::string &workload, DynParModel model,
+                        TbPolicy policy, const GpuStats &stats)
+{
+    ResultRecord r;
+    r.workload = workload;
+    r.model = model;
+    r.policy = policy;
+    r.cycles = stats.cycles;
+    r.launches = stats.deviceLaunches;
+    r.dynamicTbs = stats.dynamicTbs;
+    r.bound = stats.boundDispatches;
+    r.overflows = stats.queueOverflows;
+    r.kduStalls = stats.kduFullStalls;
+    r.ipc = stats.ipc();
+    r.l1 = stats.l1Total().hitRate();
+    r.l2 = stats.l2.hitRate();
+    r.util = stats.avgSmxUtilization();
+    r.imbalance = stats.smxImbalance();
+    return r;
+}
+
+std::string
+ResultRecord::encode() const
+{
+    return logFormat(
+        "v1 workload=%s model=%d policy=%d cycles=%llu launches=%llu "
+        "dynamicTbs=%llu bound=%llu overflows=%llu kduStalls=%llu "
+        "ipc=%.17g l1=%.17g l2=%.17g util=%.17g imbalance=%.17g",
+        workload.c_str(), static_cast<int>(model),
+        static_cast<int>(policy),
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(launches),
+        static_cast<unsigned long long>(dynamicTbs),
+        static_cast<unsigned long long>(bound),
+        static_cast<unsigned long long>(overflows),
+        static_cast<unsigned long long>(kduStalls), ipc, l1, l2, util,
+        imbalance);
+}
+
+bool
+ResultRecord::decode(const std::string &line, ResultRecord &out)
+{
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok != "v1")
+        return false;
+
+    ResultRecord r;
+    // Bitmask of the 14 required fields, in encode() order.
+    unsigned seen = 0;
+    auto mark = [&seen](unsigned bit) { seen |= 1u << bit; };
+
+    while (ls >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string k = tok.substr(0, eq);
+        const std::string v = tok.substr(eq + 1);
+        char *end = nullptr;
+        if (k == "workload") {
+            r.workload = v;
+            mark(0);
+            continue;
+        }
+        if (k == "model") {
+            r.model = static_cast<DynParModel>(
+                std::strtol(v.c_str(), &end, 10));
+            mark(1);
+        } else if (k == "policy") {
+            r.policy =
+                static_cast<TbPolicy>(std::strtol(v.c_str(), &end, 10));
+            mark(2);
+        } else if (k == "cycles") {
+            r.cycles = std::strtoull(v.c_str(), &end, 10);
+            mark(3);
+        } else if (k == "launches") {
+            r.launches = std::strtoull(v.c_str(), &end, 10);
+            mark(4);
+        } else if (k == "dynamicTbs") {
+            r.dynamicTbs = std::strtoull(v.c_str(), &end, 10);
+            mark(5);
+        } else if (k == "bound") {
+            r.bound = std::strtoull(v.c_str(), &end, 10);
+            mark(6);
+        } else if (k == "overflows") {
+            r.overflows = std::strtoull(v.c_str(), &end, 10);
+            mark(7);
+        } else if (k == "kduStalls") {
+            r.kduStalls = std::strtoull(v.c_str(), &end, 10);
+            mark(8);
+        } else if (k == "ipc") {
+            r.ipc = std::strtod(v.c_str(), &end);
+            mark(9);
+        } else if (k == "l1") {
+            r.l1 = std::strtod(v.c_str(), &end);
+            mark(10);
+        } else if (k == "l2") {
+            r.l2 = std::strtod(v.c_str(), &end);
+            mark(11);
+        } else if (k == "util") {
+            r.util = std::strtod(v.c_str(), &end);
+            mark(12);
+        } else if (k == "imbalance") {
+            r.imbalance = std::strtod(v.c_str(), &end);
+            mark(13);
+        } else {
+            return false; // unknown field: format drift, reject
+        }
+        if (end == v.c_str() || *end != '\0')
+            return false;
+    }
+    if (seen != (1u << 14) - 1)
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+std::string
+ResultRecord::csvRow() const
+{
+    return logFormat(
+        "%s,%s,%s,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%llu,%llu",
+        workload.c_str(), toString(model), toString(policy),
+        static_cast<unsigned long long>(cycles), ipc, l1, l2, util,
+        imbalance, static_cast<unsigned long long>(launches),
+        static_cast<unsigned long long>(dynamicTbs),
+        static_cast<unsigned long long>(bound),
+        static_cast<unsigned long long>(overflows));
+}
+
+RunResult
+ResultRecord::toRunResult() const
+{
+    RunResult r;
+    r.workload = workload;
+    r.model = model;
+    r.policy = policy;
+    r.ipc = ipc;
+    r.l1HitRate = l1;
+    r.l2HitRate = l2;
+    r.cycles = static_cast<double>(cycles);
+    r.smxUtilization = util;
+    r.smxImbalance = imbalance;
+    r.boundFraction = dynamicTbs ? static_cast<double>(bound) /
+                                       static_cast<double>(dynamicTbs)
+                                 : 0.0;
+    r.queueOverflows = static_cast<double>(overflows);
+    r.kduFullStalls = static_cast<double>(kduStalls);
+    return r;
+}
+
+const char *
+statsCsvHeader()
+{
+    return "workload,model,policy,cycles,ipc,l1,l2,util,"
+           "imbalance,launches,dynamicTbs,bound,overflows";
+}
+
+std::string
+encodeSweepTsv(const std::vector<RunResult> &rows)
+{
+    std::ostringstream out;
+    out << "# workload model policy ipc l1 l2 cycles util imbalance "
+           "bound overflows kduStalls\n";
+    for (const auto &r : rows) {
+        out << r.workload << ' ' << static_cast<int>(r.model) << ' '
+            << static_cast<int>(r.policy) << ' ' << r.ipc << ' '
+            << r.l1HitRate << ' ' << r.l2HitRate << ' ' << r.cycles
+            << ' ' << r.smxUtilization << ' ' << r.smxImbalance << ' '
+            << r.boundFraction << ' ' << r.queueOverflows << ' '
+            << r.kduFullStalls << '\n';
+    }
+    return out.str();
+}
+
+bool
+decodeSweepTsv(const std::string &tsv, std::vector<RunResult> &out)
+{
+    std::istringstream in(tsv);
+    std::vector<RunResult> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        RunResult r;
+        int mi, pi;
+        if (!(ls >> r.workload >> mi >> pi >> r.ipc >> r.l1HitRate >>
+              r.l2HitRate >> r.cycles >> r.smxUtilization >>
+              r.smxImbalance >> r.boundFraction >> r.queueOverflows >>
+              r.kduFullStalls)) {
+            return false;
+        }
+        r.model = static_cast<DynParModel>(mi);
+        r.policy = static_cast<TbPolicy>(pi);
+        rows.push_back(std::move(r));
+    }
+    out = std::move(rows);
+    return true;
+}
+
+ResultCache::ResultCache(std::string dir, std::string fingerprint)
+    : dir_(dir.empty() ? cacheRootDir() : std::move(dir)),
+      fingerprint_(fingerprint.empty() ? simFingerprint()
+                                       : std::move(fingerprint))
+{
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return dir_ + "/results/" + key + ".rec";
+}
+
+bool
+ResultCache::load(const std::string &key, std::string &payload) const
+{
+    return loadFile(entryPath(key), payload);
+}
+
+bool
+ResultCache::store(const std::string &key, const std::string &payload) const
+{
+    return storeFile(entryPath(key), payload);
+}
+
+bool
+ResultCache::loadFile(const std::string &path, std::string &payload) const
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+    if (header.rfind(kHeaderPrefix, 0) != 0)
+        return false;
+    if (header.substr(sizeof(kHeaderPrefix) - 1) != fingerprint_)
+        return false; // written by a different simulator: stale
+    std::ostringstream body;
+    body << in.rdbuf();
+    payload = body.str();
+    return true;
+}
+
+bool
+ResultCache::storeFile(const std::string &path,
+                       const std::string &payload) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path p(path);
+    if (p.has_parent_path())
+        fs::create_directories(p.parent_path(), ec);
+    // Write-then-rename so a concurrent reader (another bench process
+    // sharing the sweep cache) never sees a truncated file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << kHeaderPrefix << fingerprint_ << '\n' << payload;
+        if (!out.good())
+            return false;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace laperm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Content-addressed, fingerprint-versioned result cache shared by the
+ * sweep harness (harness/experiment.cc) and the serving subsystem
+ * (src/serve).
+ *
+ * Three pieces:
+ *
+ *  - ResultRecord: the canonical single-line encoding of one
+ *    simulation's statistics. Doubles are stored with %.17g so they
+ *    round-trip bit-exactly; every consumer-facing rendering (the
+ *    laperm_sim --csv row, the sweep-harness TSV row) regenerated from
+ *    a record is byte-identical to one produced directly from the
+ *    simulation. This is the determinism contract of the serve layer.
+ *
+ *  - ResultCache: payload files keyed either by an explicit path (the
+ *    sweep TSV) or by a content key (served requests). Every file
+ *    starts with a "# laperm-cache fingerprint=<hex>" line; a load
+ *    whose fingerprint differs from the current simulator fingerprint
+ *    is treated as a miss, so entries written by an older binary
+ *    self-invalidate instead of silently serving stale results.
+ *
+ *  - simFingerprint(): build-time content hash over the simulator
+ *    sources (cmake/GenFingerprint.cmake), overridable through the
+ *    LAPERM_SIM_FINGERPRINT environment variable for tests.
+ */
+
+#ifndef LAPERM_HARNESS_RESULT_CACHE_HH
+#define LAPERM_HARNESS_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace laperm {
+
+struct RunResult; // harness/experiment.hh
+
+/** Build-time simulator fingerprint (env LAPERM_SIM_FINGERPRINT wins). */
+std::string simFingerprint();
+
+/** Cache directory: $LAPERM_CACHE_DIR, default "cache". */
+std::string cacheRootDir();
+
+/** 64-bit FNV-1a over @p data starting from @p seed. */
+std::uint64_t fnv1a64(const std::string &data, std::uint64_t seed);
+
+/** 128-bit hex content key of a canonical request string. */
+std::string contentKey(const std::string &canonical);
+
+/**
+ * Canonical record of one simulation run: every counter both the
+ * laperm_sim CSV report and the sweep harness TSV derive from.
+ */
+struct ResultRecord
+{
+    std::string workload;
+    DynParModel model = DynParModel::CDP;
+    TbPolicy policy = TbPolicy::RR;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t launches = 0;    ///< GpuStats::deviceLaunches
+    std::uint64_t dynamicTbs = 0;
+    std::uint64_t bound = 0;       ///< GpuStats::boundDispatches
+    std::uint64_t overflows = 0;   ///< GpuStats::queueOverflows
+    std::uint64_t kduStalls = 0;   ///< GpuStats::kduFullStalls
+    double ipc = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double util = 0.0;
+    double imbalance = 0.0;
+
+    static ResultRecord fromStats(const std::string &workload,
+                                  DynParModel model, TbPolicy policy,
+                                  const GpuStats &stats);
+
+    /** Single-line "v1 k=v ..." encoding; doubles round-trip exactly. */
+    std::string encode() const;
+
+    /** Parse encode() output; false on malformed/missing fields. */
+    static bool decode(const std::string &line, ResultRecord &out);
+
+    /** The laperm_sim --csv row (no trailing newline). */
+    std::string csvRow() const;
+
+    /** Convert to the sweep harness metric row. */
+    RunResult toRunResult() const;
+};
+
+/** Header row matching ResultRecord::csvRow (no trailing newline). */
+const char *statsCsvHeader();
+
+/**
+ * Serialize sweep results in the harness TSV format (header comment +
+ * one row per cell, ostream default float formatting — the format
+ * cached under sweepCachePath() and printed by laperm_submit --batch).
+ */
+std::string encodeSweepTsv(const std::vector<RunResult> &rows);
+
+/** Parse encodeSweepTsv output; false on any malformed row. */
+bool decodeSweepTsv(const std::string &tsv, std::vector<RunResult> &out);
+
+/**
+ * Fingerprint-gated payload storage. Not itself thread-safe per entry;
+ * writers use a write-temp-then-rename so readers never observe a
+ * partial file (the serve layer additionally single-flights identical
+ * keys, see serve/service.hh).
+ */
+class ResultCache
+{
+  public:
+    /** Empty dir/fingerprint select cacheRootDir()/simFingerprint(). */
+    explicit ResultCache(std::string dir = std::string(),
+                         std::string fingerprint = std::string());
+
+    const std::string &dir() const { return dir_; }
+    const std::string &fingerprint() const { return fingerprint_; }
+
+    /** File backing a content key: "<dir>/results/<key>.rec". */
+    std::string entryPath(const std::string &key) const;
+
+    /** Load a content-keyed payload; false on miss or stale entry. */
+    bool load(const std::string &key, std::string &payload) const;
+
+    /** Store a content-keyed payload (creates directories). */
+    bool store(const std::string &key, const std::string &payload) const;
+
+    /**
+     * Load a payload from an explicit path, validating the embedded
+     * fingerprint; false on miss, stale fingerprint, or bad header.
+     */
+    bool loadFile(const std::string &path, std::string &payload) const;
+
+    /** Atomically write fingerprint header + payload to @p path. */
+    bool storeFile(const std::string &path,
+                   const std::string &payload) const;
+
+  private:
+    std::string dir_;
+    std::string fingerprint_;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_HARNESS_RESULT_CACHE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Client for the laperm_served protocol (DESIGN.md §10.2): connects to
+ * the daemon's Unix socket, sends one JSON line per call, reads one
+ * JSON line back. callWithRetry() layers deterministic exponential
+ * backoff on top for `overloaded` responses and transport errors, so
+ * laperm_submit degrades gracefully when the daemon sheds load.
+ */
+
+#ifndef LAPERM_SERVE_CLIENT_HH
+#define LAPERM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace laperm {
+namespace serve {
+
+struct ClientOptions
+{
+    std::string socketPath = "laperm_served.sock";
+    unsigned connectRetries = 0;     ///< extra connect attempts
+    std::uint64_t backoffMs = 50;    ///< initial retry backoff
+    std::uint64_t maxBackoffMs = 2000;
+    std::uint64_t recvTimeoutMs = 0; ///< 0 = wait forever
+    unsigned overloadRetries = 5;    ///< callWithRetry budget
+};
+
+class Client
+{
+  public:
+    explicit Client(ClientOptions opts);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect (with connectRetries x backoff). False on failure. */
+    bool connect(std::string &err);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /**
+     * Send @p request as one line and parse the one-line response
+     * into @p response. False on transport or parse failure.
+     */
+    bool call(const std::string &request, JsonObject &response,
+              std::string &err);
+
+    /**
+     * call(), but on an `overloaded` status (or a dropped connection)
+     * sleep an exponentially growing backoff — seeded from the
+     * response's retry_ms when present — reconnect if needed, and try
+     * again, up to overloadRetries times. The final response (of any
+     * status) lands in @p response.
+     */
+    bool callWithRetry(const std::string &request, JsonObject &response,
+                       std::string &err);
+
+  private:
+    ClientOptions opts_;
+    int fd_ = -1;
+    std::string carry_; ///< partial-line buffer across calls
+};
+
+} // namespace serve
+} // namespace laperm
+
+#endif // LAPERM_SERVE_CLIENT_HH

@@ -1,0 +1,195 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "serve/protocol.hh"
+#include "serve/socket_util.hh"
+
+namespace laperm {
+namespace serve {
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      service_(std::make_unique<SimService>(opts_.service))
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string &err)
+{
+    listenFd_ = unixListen(opts_.socketPath, opts_.backlog, err);
+    if (listenFd_ < 0)
+        return false;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+bool
+Server::waitShutdown(std::uint64_t ms)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (ms == 0) {
+        shutdownCv_.wait(lock, [&] { return shutdownRequested_; });
+        return true;
+    }
+    return shutdownCv_.wait_for(lock, std::chrono::milliseconds(ms),
+                                [&] { return shutdownRequested_; });
+}
+
+void
+Server::requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdownRequested_ = true;
+    }
+    shutdownCv_.notify_all();
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        shutdownRequested_ = true;
+    }
+    shutdownCv_.notify_all();
+
+    // Wake the accept loop: shutdown() forces accept() to return even
+    // where a plain close() would leave it blocked.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(opts_.socketPath.c_str());
+    }
+
+    // Unblock connection readers, then join them.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+        threads.swap(connThreads_);
+    }
+    for (auto &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stopped_ || shutdownRequested_)
+                return;
+            continue; // transient accept error
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_ || shutdownRequested_) {
+            ::close(fd);
+            return;
+        }
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::string carry;
+    std::string line;
+    while (readLine(fd, carry, line)) {
+        const std::string response = handleLine(line);
+        if (!writeAll(fd, response + "\n"))
+            break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    connFds_.erase(std::remove(connFds_.begin(), connFds_.end(), fd),
+                   connFds_.end());
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    JsonObject obj;
+    std::string err;
+    if (!parseJsonObject(line, obj, err))
+        return errorResponse(kStatusError, "bad request: " + err);
+
+    std::string op;
+    if (!getString(obj, "op", op))
+        return errorResponse(kStatusError, "missing 'op'");
+
+    if (op == kVerbPing) {
+        return logFormat(
+            "{\"status\":\"ok\",\"op\":\"ping\",\"fingerprint\":\"%s\","
+            "\"protocol\":%d}",
+            service_->fingerprint().c_str(), kProtocolVersion);
+    }
+    if (op == kVerbStats) {
+        return "{\"status\":\"ok\",\"op\":\"stats\",\"fingerprint\":\"" +
+               service_->fingerprint() + "\"," +
+               service_->metrics().jsonFields() + "}";
+    }
+    if (op == kVerbShutdown) {
+        requestShutdown();
+        return "{\"status\":\"ok\",\"op\":\"shutdown\"}";
+    }
+    if (op != kVerbRun)
+        return errorResponse(kStatusError, "unknown op '" + op + "'");
+
+    SimRequest req;
+    if (!SimRequest::fromJson(obj, req, err))
+        return errorResponse(kStatusError, err);
+
+    const RunOutcome outcome = service_->run(req);
+    switch (outcome.status) {
+    case RunStatus::Ok:
+        return logFormat(
+            "{\"status\":\"ok\",\"cached\":%s,\"deduped\":%s,"
+            "\"key\":\"%s\",\"result\":\"%s\"}",
+            outcome.cached ? "true" : "false",
+            outcome.deduped ? "true" : "false", outcome.key.c_str(),
+            jsonEscape(outcome.payload).c_str());
+    case RunStatus::Shed:
+        // Structured load-shed: the client backs off and retries
+        // (serve/client.cc honors retry_ms).
+        return logFormat(
+            "{\"status\":\"overloaded\",\"key\":\"%s\",\"retry_ms\":100}",
+            outcome.key.c_str());
+    case RunStatus::Timeout:
+        return logFormat(
+            "{\"status\":\"timeout\",\"key\":\"%s\"}",
+            outcome.key.c_str());
+    case RunStatus::Error:
+        break;
+    }
+    return errorResponse(kStatusError, outcome.error);
+}
+
+} // namespace serve
+} // namespace laperm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unix-domain socket front end for SimService (DESIGN.md §10.2): an
+ * accept loop plus one thread per connection, each speaking the
+ * line-delimited JSON protocol of serve/protocol.hh. Embeddable — the
+ * tests run it in-process; laperm_served is a thin main() around it.
+ */
+
+#ifndef LAPERM_SERVE_SERVER_HH
+#define LAPERM_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace laperm {
+namespace serve {
+
+struct ServerOptions
+{
+    std::string socketPath = "laperm_served.sock";
+    int backlog = 64;
+    ServiceOptions service;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+
+    /** stop() if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the accept thread. */
+    bool start(std::string &err);
+
+    /**
+     * Block until a shutdown request arrives or @p ms elapses
+     * (0 = wait forever). True when shutdown was requested.
+     */
+    bool waitShutdown(std::uint64_t ms = 0);
+
+    /** Ask the server to stop (also triggered by the shutdown verb). */
+    void requestShutdown();
+
+    /** Stop accepting, unblock and join every connection thread. */
+    void stop();
+
+    const std::string &socketPath() const { return opts_.socketPath; }
+    SimService &service() { return *service_; }
+
+    /** Dispatch one protocol line; exposed for protocol unit tests. */
+    std::string handleLine(const std::string &line);
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    ServerOptions opts_;
+    std::unique_ptr<SimService> service_;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+
+    std::mutex mu_; ///< guards connThreads_, connFds_, shutdown flag
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+    bool shutdownRequested_ = false;
+    bool stopped_ = false;
+    std::condition_variable shutdownCv_;
+};
+
+} // namespace serve
+} // namespace laperm
+
+#endif // LAPERM_SERVE_SERVER_HH

@@ -1,0 +1,308 @@
+#include "serve/sim_request.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/result_cache.hh"
+#include "workloads/registry.hh"
+
+namespace laperm {
+namespace serve {
+
+namespace {
+
+// Wire spellings match the laperm_sim CLI so a request is a mechanical
+// translation of a command line (and vice versa in serve_smoke.sh).
+
+bool
+parseModel(const std::string &s, DynParModel &out)
+{
+    if (s == "cdp") {
+        out = DynParModel::CDP;
+        return true;
+    }
+    if (s == "dtbl") {
+        out = DynParModel::DTBL;
+        return true;
+    }
+    return false;
+}
+
+bool
+parsePolicy(const std::string &s, TbPolicy &out)
+{
+    if (s == "rr") {
+        out = TbPolicy::RR;
+        return true;
+    }
+    if (s == "tbpri") {
+        out = TbPolicy::TbPri;
+        return true;
+    }
+    if (s == "smxbind") {
+        out = TbPolicy::SmxBind;
+        return true;
+    }
+    if (s == "adaptive" || s == "laperm") {
+        out = TbPolicy::AdaptiveBind;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseScale(const std::string &s, Scale &out)
+{
+    if (s == "tiny") {
+        out = Scale::Tiny;
+        return true;
+    }
+    if (s == "small") {
+        out = Scale::Small;
+        return true;
+    }
+    if (s == "full") {
+        out = Scale::Full;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseWarp(const std::string &s, WarpPolicy &out)
+{
+    if (s == "gto") {
+        out = WarpPolicy::GTO;
+        return true;
+    }
+    if (s == "lrr") {
+        out = WarpPolicy::LRR;
+        return true;
+    }
+    if (s == "tbaware") {
+        out = WarpPolicy::TbAware;
+        return true;
+    }
+    return false;
+}
+
+const char *
+wireModel(DynParModel m)
+{
+    return m == DynParModel::CDP ? "cdp" : "dtbl";
+}
+
+const char *
+wirePolicy(TbPolicy p)
+{
+    switch (p) {
+    case TbPolicy::RR:
+        return "rr";
+    case TbPolicy::TbPri:
+        return "tbpri";
+    case TbPolicy::SmxBind:
+        return "smxbind";
+    case TbPolicy::AdaptiveBind:
+        return "adaptive";
+    }
+    return "rr";
+}
+
+const char *
+wireScale(Scale s)
+{
+    switch (s) {
+    case Scale::Tiny:
+        return "tiny";
+    case Scale::Small:
+        return "small";
+    case Scale::Full:
+        return "full";
+    }
+    return "small";
+}
+
+const char *
+wireWarp(WarpPolicy w)
+{
+    switch (w) {
+    case WarpPolicy::GTO:
+        return "gto";
+    case WarpPolicy::LRR:
+        return "lrr";
+    case WarpPolicy::TbAware:
+        return "tbaware";
+    }
+    return "gto";
+}
+
+bool
+getU32(const JsonObject &obj, const std::string &key, std::uint32_t &out,
+       std::string &err)
+{
+    std::uint64_t v;
+    if (!getU64(obj, key, v) || v > 0xFFFFFFFFull) {
+        err = "bad value for '" + key + "'";
+        return false;
+    }
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+SimRequest::fromJson(const JsonObject &obj, SimRequest &out,
+                     std::string &err)
+{
+    SimRequest r;
+    r.cfg = paperConfig();
+
+    for (const auto &[key, value] : obj) {
+        std::string s;
+        if (key == "op") {
+            continue; // dispatched by the server before parsing
+        } else if (key == "workload") {
+            if (!getString(obj, key, r.workload)) {
+                err = "'workload' must be a string";
+                return false;
+            }
+        } else if (key == "model") {
+            if (!getString(obj, key, s) || !parseModel(s, r.model)) {
+                err = "'model' must be cdp|dtbl";
+                return false;
+            }
+        } else if (key == "policy") {
+            if (!getString(obj, key, s) || !parsePolicy(s, r.policy)) {
+                err = "'policy' must be rr|tbpri|smxbind|adaptive";
+                return false;
+            }
+        } else if (key == "scale") {
+            if (!getString(obj, key, s) || !parseScale(s, r.scale)) {
+                err = "'scale' must be tiny|small|full";
+                return false;
+            }
+        } else if (key == "warp_sched") {
+            if (!getString(obj, key, s) ||
+                !parseWarp(s, r.cfg.warpPolicy)) {
+                err = "'warp_sched' must be gto|lrr|tbaware";
+                return false;
+            }
+        } else if (key == "trace_dir") {
+            if (!getString(obj, key, r.traceDir)) {
+                err = "'trace_dir' must be a string";
+                return false;
+            }
+        } else if (key == "seed") {
+            if (!getU64(obj, key, r.seed)) {
+                err = "bad value for 'seed'";
+                return false;
+            }
+        } else if (key == "smx") {
+            if (!getU32(obj, key, r.cfg.numSmx, err))
+                return false;
+        } else if (key == "l1_kb") {
+            std::uint32_t kb = 0;
+            if (!getU32(obj, key, kb, err) || kb > 0x3FFFFFu) {
+                err = "bad value for 'l1_kb'";
+                return false;
+            }
+            r.cfg.l1Size = kb * 1024;
+        } else if (key == "l2_kb") {
+            std::uint32_t kb = 0;
+            if (!getU32(obj, key, kb, err) || kb > 0x3FFFFFu) {
+                err = "bad value for 'l2_kb'";
+                return false;
+            }
+            r.cfg.l2Size = kb * 1024;
+        } else if (key == "levels") {
+            if (!getU32(obj, key, r.cfg.maxPriorityLevels, err))
+                return false;
+        } else if (key == "cdp_latency") {
+            if (!getU64(obj, key, r.cfg.cdpLaunchLatency)) {
+                err = "bad value for 'cdp_latency'";
+                return false;
+            }
+        } else if (key == "dtbl_latency") {
+            if (!getU64(obj, key, r.cfg.dtblLaunchLatency)) {
+                err = "bad value for 'dtbl_latency'";
+                return false;
+            }
+        } else {
+            err = "unknown request field '" + key + "'";
+            return false;
+        }
+        (void)value;
+    }
+
+    r.cfg.dynParModel = r.model;
+    r.cfg.tbPolicy = r.policy;
+    r.cfg.seed = r.seed;
+    out = std::move(r);
+    return true;
+}
+
+bool
+SimRequest::validate(std::string &err) const
+{
+    const std::vector<std::string> &names = workloadNames();
+    if (std::find(names.begin(), names.end(), workload) == names.end()) {
+        err = "unknown workload '" + workload + "'";
+        return false;
+    }
+    const std::string cfgErr = cfg.check();
+    if (!cfgErr.empty()) {
+        err = cfgErr;
+        return false;
+    }
+    return true;
+}
+
+std::string
+SimRequest::canonical() const
+{
+    // Every knob the protocol can set, in fixed order. Defaults the
+    // protocol cannot reach are covered by the simulator fingerprint.
+    return logFormat(
+        "w=%s m=%d p=%d sc=%d seed=%llu smx=%u l1=%u l2=%u lv=%u "
+        "cdp=%llu dtbl=%llu ws=%d",
+        workload.c_str(), static_cast<int>(model),
+        static_cast<int>(policy), static_cast<int>(scale),
+        static_cast<unsigned long long>(seed), cfg.numSmx, cfg.l1Size,
+        cfg.l2Size, cfg.maxPriorityLevels,
+        static_cast<unsigned long long>(cfg.cdpLaunchLatency),
+        static_cast<unsigned long long>(cfg.dtblLaunchLatency),
+        static_cast<int>(cfg.warpPolicy));
+}
+
+std::string
+SimRequest::key() const
+{
+    return contentKey(canonical());
+}
+
+std::string
+SimRequest::toJson() const
+{
+    std::string out = logFormat(
+        "{\"op\":\"run\",\"workload\":\"%s\",\"model\":\"%s\","
+        "\"policy\":\"%s\",\"scale\":\"%s\",\"seed\":%llu,"
+        "\"smx\":%u,\"l1_kb\":%u,\"l2_kb\":%u,\"levels\":%u,"
+        "\"cdp_latency\":%llu,\"dtbl_latency\":%llu,"
+        "\"warp_sched\":\"%s\"",
+        jsonEscape(workload).c_str(), wireModel(model),
+        wirePolicy(policy), wireScale(scale),
+        static_cast<unsigned long long>(seed), cfg.numSmx,
+        cfg.l1Size / 1024, cfg.l2Size / 1024, cfg.maxPriorityLevels,
+        static_cast<unsigned long long>(cfg.cdpLaunchLatency),
+        static_cast<unsigned long long>(cfg.dtblLaunchLatency),
+        wireWarp(cfg.warpPolicy));
+    if (!traceDir.empty())
+        out += ",\"trace_dir\":\"" + jsonEscape(traceDir) + "\"";
+    out += "}";
+    return out;
+}
+
+} // namespace serve
+} // namespace laperm

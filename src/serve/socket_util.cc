@@ -1,0 +1,148 @@
+#include "serve/socket_util.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace laperm {
+namespace serve {
+
+namespace {
+
+bool
+fillAddr(const std::string &path, sockaddr_un &addr, std::string &err)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path empty or too long (max " +
+              std::to_string(sizeof(addr.sun_path) - 1) + " bytes): '" +
+              path + "'";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+unixListen(const std::string &path, int backlog, std::string &err)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr, err))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    bool bound =
+        ::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) ==
+        0;
+    if (!bound && errno == EADDRINUSE) {
+        // Distinguish a live daemon from a stale file: only a refused
+        // connection proves nobody is listening.
+        std::string probeErr;
+        int probe = unixConnect(path, probeErr);
+        if (probe >= 0) {
+            ::close(probe);
+            ::close(fd);
+            err = "socket '" + path + "' already has a listener";
+            return -1;
+        }
+        ::unlink(path.c_str());
+        bound = ::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr)) == 0;
+    }
+    if (!bound) {
+        err = std::string("bind '") + path + "': " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, backlog) < 0) {
+        err = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        ::unlink(path.c_str());
+        return -1;
+    }
+    return fd;
+}
+
+int
+unixConnect(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr, err))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        err = std::string("connect '") + path +
+              "': " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+setRecvTimeout(int fd, std::uint64_t ms)
+{
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) ==
+           0;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readLine(int fd, std::string &carry, std::string &line)
+{
+    for (;;) {
+        const std::size_t nl = carry.find('\n');
+        if (nl != std::string::npos) {
+            line = carry.substr(0, nl);
+            carry.erase(0, nl + 1);
+            return true;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // includes recv-timeout (EAGAIN)
+        }
+        if (n == 0)
+            return false; // EOF mid-line
+        carry.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace serve
+} // namespace laperm

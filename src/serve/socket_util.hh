@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Thin POSIX Unix-domain socket helpers shared by the server, the
+ * client library, and the tests. All functions return -1 / false and
+ * fill @p err instead of throwing; SIGPIPE is avoided by sending with
+ * MSG_NOSIGNAL, so callers never need signal handlers.
+ */
+
+#ifndef LAPERM_SERVE_SOCKET_UTIL_HH
+#define LAPERM_SERVE_SOCKET_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace laperm {
+namespace serve {
+
+/**
+ * Create, bind, and listen on a Unix-domain socket. A stale socket
+ * file (left by a crashed daemon — nothing accepts connections on it)
+ * is unlinked and rebound; a live one yields an "already in use"
+ * error. Returns the listening fd or -1.
+ */
+int unixListen(const std::string &path, int backlog, std::string &err);
+
+/** Connect to a Unix-domain socket. Returns fd or -1. */
+int unixConnect(const std::string &path, std::string &err);
+
+/** Bound the time recv() may block on @p fd (0 = no timeout). */
+bool setRecvTimeout(int fd, std::uint64_t ms);
+
+/** Send all of @p data (handles partial writes, no SIGPIPE). */
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Read one '\n'-terminated line. @p carry holds bytes received past
+ * the previous line and must persist across calls per connection.
+ * Returns false on EOF/error with no complete line buffered.
+ */
+bool readLine(int fd, std::string &carry, std::string &line);
+
+} // namespace serve
+} // namespace laperm
+
+#endif // LAPERM_SERVE_SOCKET_UTIL_HH

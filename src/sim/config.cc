@@ -47,23 +47,32 @@ GpuConfig::effectiveOnchipEntries() const
     return onchipQueueEntries;
 }
 
+std::string
+GpuConfig::check() const
+{
+    if (numSmx == 0)
+        return "numSmx must be > 0";
+    if (maxThreadsPerSmx % kWarpSize != 0)
+        return "maxThreadsPerSmx must be a multiple of the warp size";
+    if (l1Size % (l1Assoc * kLineBytes) != 0)
+        return logFormat("L1 size %u not divisible by assoc*line", l1Size);
+    if (l2Size % (l2Assoc * kLineBytes) != 0)
+        return logFormat("L2 size %u not divisible by assoc*line", l2Size);
+    if (kduEntries == 0)
+        return "kduEntries must be > 0";
+    if (maxPriorityLevels == 0)
+        return "maxPriorityLevels must be >= 1";
+    if (smxPerCluster == 0 || numSmx % smxPerCluster != 0)
+        return "numSmx must be divisible by smxPerCluster";
+    return std::string();
+}
+
 void
 GpuConfig::validate() const
 {
-    if (numSmx == 0)
-        laperm_fatal("numSmx must be > 0");
-    if (maxThreadsPerSmx % kWarpSize != 0)
-        laperm_fatal("maxThreadsPerSmx must be a multiple of the warp size");
-    if (l1Size % (l1Assoc * kLineBytes) != 0)
-        laperm_fatal("L1 size %u not divisible by assoc*line", l1Size);
-    if (l2Size % (l2Assoc * kLineBytes) != 0)
-        laperm_fatal("L2 size %u not divisible by assoc*line", l2Size);
-    if (kduEntries == 0)
-        laperm_fatal("kduEntries must be > 0");
-    if (maxPriorityLevels == 0)
-        laperm_fatal("maxPriorityLevels must be >= 1");
-    if (smxPerCluster == 0 || numSmx % smxPerCluster != 0)
-        laperm_fatal("numSmx must be divisible by smxPerCluster");
+    const std::string err = check();
+    if (!err.empty())
+        laperm_fatal("%s", err.c_str());
 }
 
 std::string

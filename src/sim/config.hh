@@ -142,6 +142,14 @@ struct GpuConfig
     /** Effective on-chip queue capacity per SMX for the active model. */
     std::uint32_t effectiveOnchipEntries() const;
 
+    /**
+     * Describe the first configuration error, or return an empty
+     * string when the configuration is valid. Non-fatal form used by
+     * the serving layer, which must reject bad requests with an error
+     * response instead of terminating the daemon.
+     */
+    std::string check() const;
+
     /** Sanity-check the configuration; fatal() on user error. */
     void validate() const;
 

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simulation-serving daemon (DESIGN.md §10): listens on a Unix-domain
+ * socket, runs simulation requests on a thread pool behind a
+ * fingerprint-gated result cache, and answers with canonical result
+ * records. Pair with laperm_submit.
+ *
+ * Usage:
+ *   laperm_served [options]
+ *     --socket PATH        Unix socket path (default laperm_served.sock)
+ *     --jobs N             worker threads (default: hardware)
+ *     --queue-capacity N   admission bound before shedding (default 64)
+ *     --timeout-ms N       per-request waiter bound (default 120000)
+ *     --cache-dir DIR      result cache root (default $LAPERM_CACHE_DIR
+ *                          or ./cache)
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "serve/server.hh"
+
+using namespace laperm;
+using namespace laperm::serve;
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void
+onSignal(int)
+{
+    g_interrupted.store(true);
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH] [--jobs N] "
+                 "[--queue-capacity N] [--timeout-ms N] "
+                 "[--cache-dir DIR]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    ServerOptions opts;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--socket")) {
+            opts.socketPath = next_arg(i);
+        } else if (!std::strcmp(a, "--jobs")) {
+            opts.service.jobs = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+        } else if (!std::strcmp(a, "--queue-capacity")) {
+            opts.service.queueCapacity = static_cast<std::size_t>(
+                std::strtoul(next_arg(i), nullptr, 10));
+        } else if (!std::strcmp(a, "--timeout-ms")) {
+            opts.service.timeoutMs =
+                std::strtoull(next_arg(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--cache-dir")) {
+            opts.service.cacheDir = next_arg(i);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opts.service.queueCapacity == 0) {
+        std::fprintf(stderr, "--queue-capacity must be >= 1\n");
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    Server server(opts);
+    std::string err;
+    if (!server.start(err)) {
+        std::fprintf(stderr, "laperm_served: %s\n", err.c_str());
+        return 1;
+    }
+    // stdout marker the smoke script and operators wait for.
+    std::printf("laperm_served listening on %s (fingerprint %s)\n",
+                server.socketPath().c_str(),
+                server.service().fingerprint().c_str());
+    std::fflush(stdout);
+
+    // Poll so an OS signal (flag set by the handler) and a protocol
+    // shutdown verb both end the same wait loop.
+    while (!server.waitShutdown(200)) {
+        if (g_interrupted.load())
+            server.requestShutdown();
+    }
+    server.stop();
+
+    const ServiceMetrics m = server.service().metrics();
+    std::fprintf(stderr, "laperm_served: shut down cleanly\n%s",
+                 m.toTsv().c_str());
+    return 0;
+}

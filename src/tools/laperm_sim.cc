@@ -42,6 +42,7 @@
 #include "obs/locality.hh"
 #include "obs/trace_collector.hh"
 #include "harness/experiment.hh"
+#include "harness/result_cache.hh"
 #include "harness/table.hh"
 #include "workloads/registry.hh"
 
@@ -117,17 +118,14 @@ void
 report(const Options &opt, const Workload &w, const GpuStats &s)
 {
     if (opt.csv) {
-        std::printf("%s,%s,%s,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,"
-                    "%llu,%llu\n",
-                    w.fullName().c_str(), toString(opt.model),
-                    toString(opt.policy),
-                    static_cast<unsigned long long>(s.cycles), s.ipc(),
-                    s.l1Total().hitRate(), s.l2.hitRate(),
-                    s.avgSmxUtilization(), s.smxImbalance(),
-                    static_cast<unsigned long long>(s.deviceLaunches),
-                    static_cast<unsigned long long>(s.dynamicTbs),
-                    static_cast<unsigned long long>(s.boundDispatches),
-                    static_cast<unsigned long long>(s.queueOverflows));
+        // Shared with the serving subsystem: laperm_submit renders the
+        // same record through the same formatter, which is what makes
+        // served results byte-identical to a direct run.
+        std::printf("%s\n",
+                    ResultRecord::fromStats(w.fullName(), opt.model,
+                                            opt.policy, s)
+                        .csvRow()
+                        .c_str());
         return;
     }
     std::printf("=== %s  (%s, %s, scale %s, seed %llu)\n",
@@ -254,10 +252,8 @@ main(int argc, char **argv)
     else
         names.push_back(opt.workload);
 
-    if (opt.csv) {
-        std::printf("workload,model,policy,cycles,ipc,l1,l2,util,"
-                    "imbalance,launches,dynamicTbs,bound,overflows\n");
-    }
+    if (opt.csv)
+        std::printf("%s\n", statsCsvHeader());
     // With --workload all, each per-workload output file is prefixed
     // with the workload name ("bfs-citation.<file>").
     auto out_path = [&](const std::string &name,

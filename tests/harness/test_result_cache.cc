@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/result_cache.hh"
+
+using namespace laperm;
+
+namespace {
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "laperm_rc_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+ResultRecord
+sampleRecord()
+{
+    ResultRecord r;
+    r.workload = "bfs-cage";
+    r.model = DynParModel::DTBL;
+    r.policy = TbPolicy::AdaptiveBind;
+    r.cycles = 123456789ull;
+    r.launches = 42;
+    r.dynamicTbs = 1000;
+    r.bound = 987;
+    r.overflows = 3;
+    r.kduStalls = 17;
+    // Deliberately awkward doubles: full-precision %.17g must
+    // round-trip them bit-exactly.
+    r.ipc = 1.0 / 3.0;
+    r.l1 = 0.1 + 0.2;
+    r.l2 = 0.87654321987654321;
+    r.util = 2.0 / 7.0;
+    r.imbalance = 1e-17;
+    return r;
+}
+
+} // namespace
+
+TEST(ResultRecordTest, EncodeDecodeRoundTripIsBitExact)
+{
+    const ResultRecord a = sampleRecord();
+    ResultRecord b;
+    ASSERT_TRUE(ResultRecord::decode(a.encode(), b));
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.launches, b.launches);
+    EXPECT_EQ(a.dynamicTbs, b.dynamicTbs);
+    EXPECT_EQ(a.bound, b.bound);
+    EXPECT_EQ(a.overflows, b.overflows);
+    EXPECT_EQ(a.kduStalls, b.kduStalls);
+    // Bit-exact, not approximately equal: the determinism contract.
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l1, b.l1);
+    EXPECT_EQ(a.l2, b.l2);
+    EXPECT_EQ(a.util, b.util);
+    EXPECT_EQ(a.imbalance, b.imbalance);
+    // And therefore every derived rendering matches byte-for-byte.
+    EXPECT_EQ(a.csvRow(), b.csvRow());
+    EXPECT_EQ(a.encode(), b.encode());
+}
+
+TEST(ResultRecordTest, DecodeRejectsMalformedLines)
+{
+    ResultRecord r;
+    EXPECT_FALSE(ResultRecord::decode("", r));
+    EXPECT_FALSE(ResultRecord::decode("v2 workload=x", r));
+    EXPECT_FALSE(ResultRecord::decode("v1 workload=x", r)); // missing
+    std::string full = sampleRecord().encode();
+    EXPECT_FALSE(ResultRecord::decode(full + " extra=1", r));
+}
+
+TEST(ResultCacheTest, ContentKeyIsStableAndSensitive)
+{
+    const std::string k1 = contentKey("w=a m=1 p=0 seed=1");
+    EXPECT_EQ(k1.size(), 32u); // 128-bit hex
+    EXPECT_EQ(k1, contentKey("w=a m=1 p=0 seed=1"));
+    EXPECT_NE(k1, contentKey("w=a m=1 p=0 seed=2"));
+    EXPECT_NE(k1, contentKey("w=b m=1 p=0 seed=1"));
+}
+
+TEST(ResultCacheTest, StoreLoadByContentKey)
+{
+    const std::string dir = tempDir("keyed");
+    ResultCache cache(dir, "fp-test");
+    const std::string key = contentKey("some request");
+    const std::string payload = sampleRecord().encode();
+
+    std::string out;
+    EXPECT_FALSE(cache.load(key, out)); // miss before store
+    ASSERT_TRUE(cache.store(key, payload));
+    ASSERT_TRUE(cache.load(key, out));
+    EXPECT_EQ(out, payload);
+}
+
+TEST(ResultCacheTest, FingerprintMismatchIsAMiss)
+{
+    const std::string dir = tempDir("fp");
+    const std::string key = contentKey("req");
+    const std::string payload = sampleRecord().encode();
+
+    ResultCache writer(dir, "fp-old");
+    ASSERT_TRUE(writer.store(key, payload));
+
+    // Same directory, different simulator build: must self-invalidate.
+    ResultCache reader(dir, "fp-new");
+    std::string out;
+    EXPECT_FALSE(reader.load(key, out));
+
+    // The original build still hits.
+    std::string again;
+    ASSERT_TRUE(writer.load(key, again));
+    EXPECT_EQ(again, payload);
+}
+
+TEST(ResultCacheTest, FileStoreLoadValidatesFingerprint)
+{
+    const std::string dir = tempDir("file");
+    const std::string path = dir + "/sweep.tsv";
+
+    ResultCache writer(dir, "fp-a");
+    ASSERT_TRUE(writer.storeFile(path, "payload line\n"));
+
+    std::string out;
+    ASSERT_TRUE(writer.loadFile(path, out));
+    EXPECT_EQ(out, "payload line\n");
+
+    ResultCache other(dir, "fp-b");
+    EXPECT_FALSE(other.loadFile(path, out));
+    EXPECT_FALSE(writer.loadFile(dir + "/missing.tsv", out));
+}
+
+TEST(ResultCacheTest, SweepTsvRoundTrip)
+{
+    std::vector<RunResult> rows(2);
+    rows[0].workload = std::string("bfs-cage");
+    rows[0].model = DynParModel::CDP;
+    rows[0].policy = TbPolicy::RR;
+    rows[0].ipc = 1.0 / 3.0;
+    rows[0].l1HitRate = 0.5;
+    rows[0].l2HitRate = 0.25;
+    rows[0].cycles = 1e6;
+    rows[0].smxUtilization = 0.75;
+    rows[0].smxImbalance = 0.125;
+    rows[0].boundFraction = 0.5;
+    rows[0].queueOverflows = 2;
+    rows[0].kduFullStalls = 3;
+    rows[1] = rows[0];
+    rows[1].workload = std::string("bfs-citation");
+    rows[1].model = DynParModel::DTBL;
+    rows[1].policy = TbPolicy::AdaptiveBind;
+    rows[1].ipc = 0.87654321987654321;
+
+    const std::string tsv = encodeSweepTsv(rows);
+    std::vector<RunResult> back;
+    ASSERT_TRUE(decodeSweepTsv(tsv, back));
+    ASSERT_EQ(back.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(back[i].workload, rows[i].workload);
+        EXPECT_EQ(back[i].model, rows[i].model);
+        EXPECT_EQ(back[i].policy, rows[i].policy);
+        // Legacy ostream-default formatting (6 significant digits):
+        // values survive to that precision, the bytes exactly.
+        EXPECT_NEAR(back[i].ipc, rows[i].ipc, 1e-6);
+        EXPECT_EQ(back[i].cycles, rows[i].cycles);
+        EXPECT_EQ(back[i].kduFullStalls, rows[i].kduFullStalls);
+    }
+    // Re-encoding the decoded rows reproduces the bytes.
+    EXPECT_EQ(encodeSweepTsv(back), tsv);
+
+    std::vector<RunResult> bad;
+    EXPECT_FALSE(decodeSweepTsv("not a sweep\n", bad));
+}
+
+TEST(ResultCacheTest, EnvOverridesFingerprintAndDir)
+{
+    setenv("LAPERM_SIM_FINGERPRINT", "deadbeef", 1);
+    EXPECT_EQ(simFingerprint(), "deadbeef");
+    unsetenv("LAPERM_SIM_FINGERPRINT");
+    EXPECT_NE(simFingerprint(), "deadbeef");
+    EXPECT_FALSE(simFingerprint().empty());
+
+    setenv("LAPERM_CACHE_DIR", "/tmp/laperm_rc_env", 1);
+    EXPECT_EQ(cacheRootDir(), "/tmp/laperm_rc_env");
+    unsetenv("LAPERM_CACHE_DIR");
+    EXPECT_EQ(cacheRootDir(), "cache");
+}

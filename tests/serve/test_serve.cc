@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Serving-subsystem tests (DESIGN.md §10): protocol parsing, request
+ * canonicalization, and the service/server behaviors the issue pins
+ * down — cold/cached/direct byte-identity, single-flight dedup,
+ * bounded admission with structured shedding, fingerprint
+ * invalidation, and an 8-client socket smoke.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/result_cache.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "serve/sim_request.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+using namespace laperm::serve;
+
+namespace {
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "laperm_serve_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Tiny-scale request every service test uses; seed varies identity. */
+SimRequest
+tinyRequest(std::uint64_t seed)
+{
+    SimRequest req;
+    req.workload = "bfs-cage";
+    req.scale = Scale::Tiny;
+    req.seed = seed;
+    req.cfg = paperConfig();
+    req.cfg.dynParModel = req.model;
+    req.cfg.tbPolicy = req.policy;
+    req.cfg.seed = seed;
+    return req;
+}
+
+/** The payload a direct (daemon-free) run of @p req produces. */
+std::string
+directPayload(const SimRequest &req)
+{
+    auto w = createWorkload(req.workload);
+    w->setup(req.scale, req.seed);
+    return runOneRecord(*w, req.cfg, std::string()).encode();
+}
+
+ServiceOptions
+testServiceOptions(const std::string &cacheDir)
+{
+    ServiceOptions o;
+    o.jobs = 2;
+    o.cacheDir = cacheDir;
+    o.fingerprint = "fp-test";
+    return o;
+}
+
+bool
+waitFor(const std::function<bool()> &pred, int deadlineMs = 10000)
+{
+    for (int i = 0; i < deadlineMs; ++i) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ParsesFlatObjects)
+{
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","seed":42,"b":true,"n":null,"s":"a\"b\n"})", obj,
+        err))
+        << err;
+    EXPECT_EQ(obj.size(), 5u);
+    std::string s;
+    EXPECT_TRUE(getString(obj, "op", s));
+    EXPECT_EQ(s, "run");
+    std::uint64_t v = 0;
+    EXPECT_TRUE(getU64(obj, "seed", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(getString(obj, "s", s));
+    EXPECT_EQ(s, "a\"b\n");
+    EXPECT_EQ(obj.at("b").type, JsonValue::Type::Bool);
+    EXPECT_TRUE(obj.at("b").boolean);
+    EXPECT_EQ(obj.at("n").type, JsonValue::Type::Null);
+}
+
+TEST(ServeProtocol, RejectsNonFlatAndMalformed)
+{
+    JsonObject obj;
+    std::string err;
+    EXPECT_FALSE(parseJsonObject(R"({"a":{"b":1}})", obj, err));
+    EXPECT_FALSE(parseJsonObject(R"({"a":[1]})", obj, err));
+    EXPECT_FALSE(parseJsonObject(R"({"a":1,"a":2})", obj, err));
+    EXPECT_FALSE(parseJsonObject(R"({"a":1} junk)", obj, err));
+    EXPECT_FALSE(parseJsonObject("not json", obj, err));
+    EXPECT_FALSE(parseJsonObject("", obj, err));
+    EXPECT_FALSE(parseJsonObject(R"({"a":1)", obj, err));
+}
+
+TEST(ServeProtocol, U64RejectsNonIntegers)
+{
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(
+        R"({"neg":-1,"frac":1.5,"exp":1e3,"str":"7","ok":7})", obj, err))
+        << err;
+    std::uint64_t v = 0;
+    EXPECT_FALSE(getU64(obj, "neg", v));
+    EXPECT_FALSE(getU64(obj, "frac", v));
+    EXPECT_FALSE(getU64(obj, "exp", v));
+    EXPECT_FALSE(getU64(obj, "str", v));
+    EXPECT_FALSE(getU64(obj, "missing", v));
+    EXPECT_TRUE(getU64(obj, "ok", v));
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(ServeProtocol, EscapeRoundTrips)
+{
+    const std::string raw = "line1\nline2\t\"quoted\" \\slash\\";
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject("{\"s\":\"" + jsonEscape(raw) + "\"}",
+                                obj, err))
+        << err;
+    std::string back;
+    ASSERT_TRUE(getString(obj, "s", back));
+    EXPECT_EQ(back, raw);
+}
+
+// ------------------------------------------------------------- sim request
+
+TEST(ServeRequest, DefaultsMaterializeSoEquivalentRequestsShareAKey)
+{
+    JsonObject sparse, full;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(R"({"op":"run"})", sparse, err));
+    SimRequest a;
+    ASSERT_TRUE(SimRequest::fromJson(sparse, a, err)) << err;
+
+    // The same simulation, every default spelled out.
+    ASSERT_TRUE(parseJsonObject(a.toJson(), full, err)) << err;
+    SimRequest b;
+    ASSERT_TRUE(SimRequest::fromJson(full, b, err)) << err;
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_EQ(a.key(), b.key());
+
+    SimRequest c = a;
+    c.seed = a.seed + 1;
+    EXPECT_NE(a.key(), c.key());
+}
+
+TEST(ServeRequest, RejectsUnknownFieldsAndBadValues)
+{
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(R"({"op":"run","workloat":"x"})", obj,
+                                err));
+    SimRequest r;
+    EXPECT_FALSE(SimRequest::fromJson(obj, r, err));
+    EXPECT_NE(err.find("workloat"), std::string::npos);
+
+    ASSERT_TRUE(
+        parseJsonObject(R"({"op":"run","model":"sideways"})", obj, err));
+    EXPECT_FALSE(SimRequest::fromJson(obj, r, err));
+
+    ASSERT_TRUE(parseJsonObject(R"({"op":"run","seed":-3})", obj, err));
+    EXPECT_FALSE(SimRequest::fromJson(obj, r, err));
+}
+
+TEST(ServeRequest, ValidateCatchesSemanticErrors)
+{
+    SimRequest r = tinyRequest(1);
+    std::string err;
+    EXPECT_TRUE(r.validate(err)) << err;
+
+    r.workload = "no-such-workload";
+    EXPECT_FALSE(r.validate(err));
+    EXPECT_NE(err.find("no-such-workload"), std::string::npos);
+
+    r = tinyRequest(1);
+    r.cfg.numSmx = 0;
+    EXPECT_FALSE(r.validate(err));
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(ServeService, ColdCachedAndDirectResultsAreByteIdentical)
+{
+    const SimRequest req = tinyRequest(7);
+    const std::string direct = directPayload(req);
+
+    SimService svc(testServiceOptions(tempDir("identity")));
+    const RunOutcome cold = svc.run(req);
+    ASSERT_EQ(cold.status, RunStatus::Ok) << cold.error;
+    EXPECT_FALSE(cold.cached);
+    EXPECT_EQ(cold.payload, direct);
+
+    const RunOutcome warm = svc.run(req);
+    ASSERT_EQ(warm.status, RunStatus::Ok) << warm.error;
+    EXPECT_TRUE(warm.cached);
+    EXPECT_EQ(warm.payload, direct);
+
+    // And the rendered CSV row matches what laperm_sim --csv prints.
+    ResultRecord recDirect, recServed;
+    ASSERT_TRUE(ResultRecord::decode(direct, recDirect));
+    ASSERT_TRUE(ResultRecord::decode(warm.payload, recServed));
+    EXPECT_EQ(recDirect.csvRow(), recServed.csvRow());
+
+    const ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.executed, 1u);
+    EXPECT_EQ(m.cacheMisses, 1u);
+    EXPECT_EQ(m.cacheHits, 1u);
+}
+
+TEST(ServeService, IdenticalInFlightRequestsAreSingleFlighted)
+{
+    ServiceOptions opts = testServiceOptions(tempDir("dedup"));
+    opts.testExecDelayMs = 100;
+    SimService svc(opts);
+
+    const SimRequest req = tinyRequest(11);
+    RunOutcome a, b;
+    std::thread ta([&] { a = svc.run(req); });
+    std::thread tb([&] { b = svc.run(req); });
+    ta.join();
+    tb.join();
+
+    ASSERT_EQ(a.status, RunStatus::Ok) << a.error;
+    ASSERT_EQ(b.status, RunStatus::Ok) << b.error;
+    EXPECT_EQ(a.payload, b.payload);
+    const ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.executed, 1u); // one simulation served both callers
+    EXPECT_EQ(m.deduped, 1u);
+    EXPECT_TRUE(a.deduped || b.deduped);
+}
+
+TEST(ServeService, AdmissionBoundShedsInsteadOfQueueingUnbounded)
+{
+    ServiceOptions opts = testServiceOptions(tempDir("shed"));
+    opts.jobs = 1;
+    opts.queueCapacity = 1;
+    opts.testExecDelayMs = 300;
+    SimService svc(opts);
+
+    RunOutcome slow;
+    std::thread occupant([&] { slow = svc.run(tinyRequest(21)); });
+    ASSERT_TRUE(
+        waitFor([&] { return svc.metrics().queueDepth == 1; }));
+
+    const RunOutcome rejected = svc.run(tinyRequest(22));
+    EXPECT_EQ(rejected.status, RunStatus::Shed);
+    EXPECT_TRUE(rejected.payload.empty());
+    occupant.join();
+    ASSERT_EQ(slow.status, RunStatus::Ok) << slow.error;
+
+    const ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.shed, 1u);
+    EXPECT_EQ(m.executed, 1u);
+    EXPECT_EQ(m.queueDepthPeak, 1u);
+}
+
+TEST(ServeService, WaiterTimeoutDoesNotAbortExecution)
+{
+    ServiceOptions opts = testServiceOptions(tempDir("timeout"));
+    opts.timeoutMs = 1;
+    opts.testExecDelayMs = 100;
+    SimService svc(opts);
+
+    const SimRequest req = tinyRequest(31);
+    const RunOutcome out = svc.run(req);
+    EXPECT_EQ(out.status, RunStatus::Timeout);
+
+    // The execution keeps going and still populates the cache.
+    ASSERT_TRUE(waitFor([&] { return svc.metrics().executed == 1; }));
+    ASSERT_TRUE(
+        waitFor([&] { return svc.metrics().cacheMisses == 1; }));
+    const RunOutcome retry = svc.run(req);
+    ASSERT_EQ(retry.status, RunStatus::Ok) << retry.error;
+    EXPECT_TRUE(retry.cached);
+    EXPECT_EQ(retry.payload, directPayload(req));
+}
+
+TEST(ServeService, FingerprintBumpInvalidatesCachedResults)
+{
+    const std::string dir = tempDir("fp_bump");
+    const SimRequest req = tinyRequest(41);
+
+    ServiceOptions oldBuild = testServiceOptions(dir);
+    oldBuild.fingerprint = "fp-old";
+    {
+        SimService svc(oldBuild);
+        const RunOutcome out = svc.run(req);
+        ASSERT_EQ(out.status, RunStatus::Ok) << out.error;
+        EXPECT_FALSE(out.cached);
+    }
+    {
+        // Same cache directory, new simulator build: must re-execute.
+        ServiceOptions newBuild = testServiceOptions(dir);
+        newBuild.fingerprint = "fp-new";
+        SimService svc(newBuild);
+        const RunOutcome out = svc.run(req);
+        ASSERT_EQ(out.status, RunStatus::Ok) << out.error;
+        EXPECT_FALSE(out.cached);
+        EXPECT_EQ(svc.metrics().executed, 1u);
+    }
+    {
+        // The re-execution overwrote the entry under the new
+        // fingerprint: new builds now hit, the old build misses again.
+        ServiceOptions newBuild = testServiceOptions(dir);
+        newBuild.fingerprint = "fp-new";
+        SimService svc(newBuild);
+        const RunOutcome out = svc.run(req);
+        ASSERT_EQ(out.status, RunStatus::Ok) << out.error;
+        EXPECT_TRUE(out.cached);
+    }
+    {
+        SimService svc(oldBuild);
+        const RunOutcome out = svc.run(req);
+        ASSERT_EQ(out.status, RunStatus::Ok) << out.error;
+        EXPECT_FALSE(out.cached);
+    }
+}
+
+TEST(ServeService, InvalidRequestsErrorWithoutExecuting)
+{
+    SimService svc(testServiceOptions(tempDir("invalid")));
+    SimRequest req = tinyRequest(51);
+    req.workload = "no-such-workload";
+    const RunOutcome out = svc.run(req);
+    EXPECT_EQ(out.status, RunStatus::Error);
+    EXPECT_NE(out.error.find("no-such-workload"), std::string::npos);
+    const ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.errors, 1u);
+    EXPECT_EQ(m.executed, 0u);
+}
+
+// ----------------------------------------------------------------- server
+
+TEST(ServeServer, HandleLineDispatchesAndSurvivesBadInput)
+{
+    ServerOptions opts;
+    opts.service = testServiceOptions(tempDir("dispatch"));
+    Server server(opts); // handleLine needs no socket
+
+    JsonObject resp;
+    std::string err, s;
+
+    // Malformed / unknown inputs produce structured errors, not exits.
+    for (const char *bad :
+         {"garbage", "{\"seed\":1}", R"({"op":"fly"})",
+          R"({"op":"run","bogus_field":1})",
+          R"({"op":"run","workload":"no-such-workload"})"}) {
+        ASSERT_TRUE(parseJsonObject(server.handleLine(bad), resp, err))
+            << err;
+        ASSERT_TRUE(getString(resp, "status", s));
+        EXPECT_EQ(s, kStatusError) << bad;
+    }
+
+    // ...and the very same server still answers real requests.
+    ASSERT_TRUE(parseJsonObject(server.handleLine(R"({"op":"ping"})"),
+                                resp, err))
+        << err;
+    ASSERT_TRUE(getString(resp, "status", s));
+    EXPECT_EQ(s, kStatusOk);
+    ASSERT_TRUE(getString(resp, "fingerprint", s));
+    EXPECT_EQ(s, "fp-test");
+    std::uint64_t proto = 0;
+    ASSERT_TRUE(getU64(resp, "protocol", proto));
+    EXPECT_EQ(proto, static_cast<std::uint64_t>(kProtocolVersion));
+
+    ASSERT_TRUE(parseJsonObject(server.handleLine(R"({"op":"stats"})"),
+                                resp, err))
+        << err;
+    std::uint64_t n = 0;
+    ASSERT_TRUE(getU64(resp, "errors", n));
+    EXPECT_EQ(n, 1u); // only the semantically-invalid run counted
+}
+
+TEST(ServeServer, EightConcurrentClientsAllGetByteIdenticalResults)
+{
+    ServerOptions opts;
+    opts.socketPath = ::testing::TempDir() + "laperm_smoke.sock";
+    opts.service = testServiceOptions(tempDir("smoke"));
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    constexpr int kClients = 8;
+    std::vector<std::string> payloads(kClients);
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            ClientOptions copts;
+            copts.socketPath = opts.socketPath;
+            Client client(copts);
+            std::string cerr;
+            if (!client.connect(cerr)) {
+                errors[static_cast<std::size_t>(i)] = cerr;
+                return;
+            }
+            // Half the clients share seed 1 (exercises dedup/cache
+            // under concurrency); the rest are distinct simulations.
+            const SimRequest req = tinyRequest(
+                i < kClients / 2 ? 1 : static_cast<std::uint64_t>(i));
+            JsonObject resp;
+            if (!client.callWithRetry(req.toJson(), resp, cerr)) {
+                errors[static_cast<std::size_t>(i)] = cerr;
+                return;
+            }
+            std::string status;
+            getString(resp, "status", status);
+            if (status != kStatusOk) {
+                errors[static_cast<std::size_t>(i)] =
+                    "status=" + status;
+                return;
+            }
+            getString(resp, "result",
+                      payloads[static_cast<std::size_t>(i)]);
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    for (int i = 0; i < kClients; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        EXPECT_TRUE(errors[idx].empty()) << "client " << i << ": "
+                                         << errors[idx];
+        ASSERT_FALSE(payloads[idx].empty()) << "client " << i;
+    }
+    // Shared-seed clients converge on one set of bytes, equal to the
+    // daemon-free run.
+    const std::string direct = directPayload(tinyRequest(1));
+    for (int i = 0; i < kClients / 2; ++i)
+        EXPECT_EQ(payloads[static_cast<std::size_t>(i)], direct);
+
+    // Shutdown over the protocol terminates the wait loop.
+    {
+        ClientOptions copts;
+        copts.socketPath = opts.socketPath;
+        Client client(copts);
+        ASSERT_TRUE(client.connect(err)) << err;
+        JsonObject resp;
+        ASSERT_TRUE(client.call(R"({"op":"shutdown"})", resp, err))
+            << err;
+        std::string status;
+        ASSERT_TRUE(getString(resp, "status", status));
+        EXPECT_EQ(status, kStatusOk);
+    }
+    EXPECT_TRUE(server.waitShutdown(10000));
+    server.stop();
+    EXPECT_FALSE(std::filesystem::exists(opts.socketPath));
+}
+
+TEST(ServeServer, OverloadIsStructuredAndRetryRecovers)
+{
+    ServerOptions opts;
+    opts.socketPath = ::testing::TempDir() + "laperm_overload.sock";
+    opts.service = testServiceOptions(tempDir("overload"));
+    opts.service.jobs = 1;
+    opts.service.queueCapacity = 1;
+    opts.service.testExecDelayMs = 300;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    // Occupy the single admission slot.
+    std::string slowStatus;
+    std::thread occupant([&] {
+        ClientOptions copts;
+        copts.socketPath = opts.socketPath;
+        Client client(copts);
+        std::string cerr;
+        JsonObject resp;
+        if (client.connect(cerr) &&
+            client.call(tinyRequest(61).toJson(), resp, cerr)) {
+            getString(resp, "status", slowStatus);
+        }
+    });
+    ASSERT_TRUE(waitFor(
+        [&] { return server.service().metrics().queueDepth == 1; }));
+
+    // A no-retry client sees the structured overload response...
+    {
+        ClientOptions copts;
+        copts.socketPath = opts.socketPath;
+        copts.overloadRetries = 0;
+        Client client(copts);
+        ASSERT_TRUE(client.connect(err)) << err;
+        JsonObject resp;
+        ASSERT_TRUE(client.call(tinyRequest(62).toJson(), resp, err))
+            << err;
+        std::string status;
+        ASSERT_TRUE(getString(resp, "status", status));
+        EXPECT_EQ(status, kStatusOverloaded);
+        std::uint64_t retryMs = 0;
+        EXPECT_TRUE(getU64(resp, "retry_ms", retryMs));
+        EXPECT_GT(retryMs, 0u);
+    }
+
+    // ...and a retrying client rides out the overload window.
+    {
+        ClientOptions copts;
+        copts.socketPath = opts.socketPath;
+        copts.overloadRetries = 20;
+        copts.backoffMs = 50;
+        Client client(copts);
+        ASSERT_TRUE(client.connect(err)) << err;
+        JsonObject resp;
+        ASSERT_TRUE(
+            client.callWithRetry(tinyRequest(63).toJson(), resp, err))
+            << err;
+        std::string status;
+        ASSERT_TRUE(getString(resp, "status", status));
+        EXPECT_EQ(status, kStatusOk);
+    }
+
+    occupant.join();
+    EXPECT_EQ(slowStatus, kStatusOk);
+    EXPECT_GE(server.service().metrics().shed, 1u);
+    server.stop();
+}
