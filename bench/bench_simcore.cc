@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Wall-clock self-benchmark of the simulator core: for each
+ * workload x policy cell, runs the identical simulation under the dense
+ * reference loop and the event-driven core (DESIGN.md §11), timing only
+ * Gpu::runWaves (workload setup is amortized outside the timer), and
+ * writes BENCH_simcore.json with simulated cycles/sec per mode and the
+ * event/dense speedup. A final phase measures cold laperm-serve
+ * throughput (every request simulates) since the cold path *is* the
+ * simulator.
+ *
+ * Environment:
+ *   LAPERM_BENCH_SCALE     tiny | small | full (default small)
+ *   LAPERM_BENCH_REQUESTS  cold serve requests (default 16)
+ *
+ * Exits nonzero if any cell's statistics diverge between modes.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "harness/experiment.hh"
+#include "serve/service.hh"
+#include "serve/sim_request.hh"
+#include "workloads/registry.hh"
+
+using namespace laperm;
+
+namespace {
+
+/**
+ * A spread over Table II — launch-heavy (bfs), barrier/compute (bht,
+ * amr), and memory-streaming (clr, pre, join) behaviors — plus the
+ * chase-ring latency microbenchmark (not in Table II), whose
+ * stall-dominated cycles are the event core's showcase: nearly every
+ * cycle has all SMXs parked on DRAM returns, which the dense loop must
+ * poll through and the event queue skips.
+ */
+const char *const kWorkloads[] = {
+    "amr-combustion", "bht-points",    "bfs-citation", "clr-cage",
+    "pre-movielens",  "join-uniform",  "chase-ring",
+};
+
+constexpr TbPolicy kPolicies[] = {TbPolicy::RR, TbPolicy::AdaptiveBind};
+
+struct Cell
+{
+    std::string workload;
+    TbPolicy policy;
+    Cycle cycles = 0;
+    double denseSec = 0.0;
+    double eventSec = 0.0;
+    double speedup() const
+    {
+        return eventSec > 0.0 ? denseSec / eventSec : 0.0;
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Simulate one cell in one mode; returns stats cycles. */
+Cycle
+simulate(const Workload &w, TbPolicy policy, TickMode mode,
+         std::uint64_t seed, double &seconds)
+{
+    GpuConfig cfg = paperConfig();
+    cfg.dynParModel = DynParModel::DTBL;
+    cfg.tbPolicy = policy;
+    cfg.seed = seed;
+    cfg.tickMode = mode;
+    Gpu gpu(cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    gpu.runWaves(w.waves());
+    seconds = secondsSince(t0);
+    return gpu.stats().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    const Scale scale = [] {
+        if (const char *env = std::getenv("LAPERM_BENCH_SCALE"))
+            return scaleFromString(env);
+        return Scale::Small;
+    }();
+    std::uint64_t requests = 16;
+    if (const char *env = std::getenv("LAPERM_BENCH_REQUESTS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            requests = static_cast<std::uint64_t>(v);
+    }
+    const std::uint64_t seed = 1;
+
+    bool identical = true;
+    std::vector<Cell> cells;
+    for (const char *name : kWorkloads) {
+        auto w = createWorkload(name);
+        w->setup(scale, seed);
+        for (TbPolicy policy : kPolicies) {
+            Cell cell;
+            cell.workload = name;
+            cell.policy = policy;
+            const Cycle dense = simulate(*w, policy, TickMode::Dense,
+                                         seed, cell.denseSec);
+            cell.cycles = simulate(*w, policy, TickMode::Event, seed,
+                                   cell.eventSec);
+            if (dense != cell.cycles) {
+                std::fprintf(stderr,
+                             "FAIL: %s/%s cycles diverge "
+                             "(dense %llu, event %llu)\n",
+                             name, toString(policy),
+                             static_cast<unsigned long long>(dense),
+                             static_cast<unsigned long long>(cell.cycles));
+                identical = false;
+            }
+            std::printf("%-14s %-13s %9llu cyc  dense %.3fs  "
+                        "event %.3fs  %.2fx\n",
+                        name, toString(policy),
+                        static_cast<unsigned long long>(cell.cycles),
+                        cell.denseSec, cell.eventSec, cell.speedup());
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    // Cold-serve throughput: a fresh cache directory per run, so every
+    // request takes the simulate path.
+    const std::string cacheDir = "bench_simcore_cache.tmp";
+    std::filesystem::remove_all(cacheDir);
+    double coldSec = 0.0;
+    {
+        serve::ServiceOptions opts;
+        opts.jobs = 1;
+        opts.cacheDir = cacheDir;
+        opts.fingerprint = "bench-simcore";
+        opts.queueCapacity = requests + 1;
+        serve::SimService svc(opts);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < requests; ++i) {
+            serve::SimRequest req;
+            req.workload = "bfs-cage";
+            req.scale = Scale::Tiny;
+            req.seed = i + 1;
+            req.cfg = paperConfig();
+            req.cfg.dynParModel = req.model;
+            req.cfg.tbPolicy = req.policy;
+            req.cfg.seed = req.seed;
+            const serve::RunOutcome out = svc.run(req);
+            if (out.status != serve::RunStatus::Ok || out.cached) {
+                std::fprintf(stderr, "cold request %llu failed\n",
+                             static_cast<unsigned long long>(i));
+                identical = false;
+            }
+        }
+        coldSec = secondsSince(t0);
+    }
+    std::filesystem::remove_all(cacheDir);
+
+    double maxSpeedup = 0.0;
+    double denseTotal = 0.0;
+    double eventTotal = 0.0;
+    for (const Cell &c : cells) {
+        maxSpeedup = std::max(maxSpeedup, c.speedup());
+        denseTotal += c.denseSec;
+        eventTotal += c.eventSec;
+    }
+
+    std::ofstream json("BENCH_simcore.json");
+    json << "{\n"
+         << "  \"bench\": \"simcore_tick_modes\",\n"
+         << "  \"scale\": \"" << toString(scale) << "\",\n"
+         << "  \"seed\": " << seed << ",\n"
+         << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        const double cyc = static_cast<double>(c.cycles);
+        json << "    {\"workload\": \"" << c.workload
+             << "\", \"policy\": \"" << toString(c.policy)
+             << "\", \"cycles\": " << c.cycles
+             << ", \"seconds_dense\": " << c.denseSec
+             << ", \"seconds_event\": " << c.eventSec
+             << ", \"cycles_per_sec_dense\": " << cyc / c.denseSec
+             << ", \"cycles_per_sec_event\": " << cyc / c.eventSec
+             << ", \"speedup\": " << c.speedup() << "}"
+             << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"seconds_dense_total\": " << denseTotal << ",\n"
+         << "  \"seconds_event_total\": " << eventTotal << ",\n"
+         << "  \"speedup_total\": "
+         << (eventTotal > 0.0 ? denseTotal / eventTotal : 0.0) << ",\n"
+         << "  \"speedup_max\": " << maxSpeedup << ",\n"
+         << "  \"serve_cold_requests\": " << requests << ",\n"
+         << "  \"serve_seconds_cold\": " << coldSec << ",\n"
+         << "  \"serve_req_per_sec_cold\": "
+         << static_cast<double>(requests) / coldSec << ",\n"
+         << "  \"stats_identical\": " << (identical ? "true" : "false")
+         << "\n"
+         << "}\n";
+    json.close();
+
+    std::printf("cold serve: %llu requests in %.3f s (%.1f req/s)\n",
+                static_cast<unsigned long long>(requests), coldSec,
+                static_cast<double>(requests) / coldSec);
+    std::printf("total: dense %.3fs, event %.3fs (%.2fx, max %.2fx)\n",
+                denseTotal, eventTotal,
+                eventTotal > 0.0 ? denseTotal / eventTotal : 0.0,
+                maxSpeedup);
+    std::printf("wrote BENCH_simcore.json\n");
+
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: tick modes diverged\n");
+        return 1;
+    }
+    return 0;
+}

@@ -53,9 +53,12 @@ done
 
 # --- Reverse: every documented binary exists ---------------------------
 # A trailing dot means a data file ("bench_output.txt"), not a target.
+# Membership tests use herestrings, not `echo | grep -q`: under
+# pipefail, grep -q exiting at the first match can SIGPIPE the echo
+# and turn a successful lookup into a spurious failure.
 doc_bench=$(grep -ohP '\bbench_[a-z0-9_]+\b(?!\.)' $all_docs | sort -u)
 for t in $doc_bench; do
-    if ! echo "$bench_targets" | grep -qx "$t"; then
+    if ! grep -qx "$t" <<<"$bench_targets"; then
         err "docs reference unknown bench target '$t'"
     fi
 done
@@ -63,7 +66,7 @@ doc_examples=$(grep -ohE '\bexamples/[a-z0-9_]+\b' $all_docs |
     sed 's#examples/##' | sort -u)
 for e in $doc_examples; do
     # Accept source-file references (examples/foo.cpp strips to foo).
-    if ! echo "$example_targets" | grep -qx "$e"; then
+    if ! grep -qx "$e" <<<"$example_targets"; then
         err "docs reference unknown example '$e'"
     fi
 done
@@ -87,7 +90,7 @@ done
 doc_verbs=$(grep -ohE '"op":"[a-z]+"' $all_docs |
     sed -E 's/.*:"([a-z]+)"/\1/' | sort -u)
 for v in $doc_verbs; do
-    if ! echo "$verbs" | grep -qx "$v"; then
+    if ! grep -qx "$v" <<<"$verbs"; then
         err "docs reference unknown protocol verb '$v'"
     fi
 done

@@ -5,6 +5,8 @@
 #   docs-check   scripts/docs_check.sh (docs <-> binaries/flags in sync)
 #   build-werror strict warning set promoted to errors (LAPERM_WERROR)
 #   ctest        Release build + full test suite
+#   tick-diff    scripts/tick_diff.sh (dense/event artifacts identical,
+#                DESIGN.md §11)
 #   serve-smoke  scripts/serve_smoke.sh (daemon end-to-end, DESIGN.md §10)
 #   asan-ubsan   full test suite under AddressSanitizer + UBSan
 #   tsan         concurrent-harness smoke under ThreadSanitizer
@@ -56,6 +58,12 @@ stage_ctest() {
         ctest --test-dir build --output-on-failure -j"$JOBS"
 }
 
+stage_tick_diff() {
+    # Reuses the Release tree the ctest stage just built.
+    cmake --build build -j"$JOBS" --target laperm_sim &&
+        scripts/tick_diff.sh build
+}
+
 stage_serve_smoke() {
     # Reuses the Release tree the ctest stage just built.
     cmake --build build -j"$JOBS" \
@@ -85,6 +93,7 @@ run_stage lint stage_lint
 run_stage docs-check stage_docs
 run_stage build-werror stage_werror
 run_stage ctest stage_ctest
+run_stage tick-diff stage_tick_diff
 run_stage serve-smoke stage_serve_smoke
 run_stage asan-ubsan stage_asan
 run_stage tsan stage_tsan

@@ -18,6 +18,7 @@ Gpu::Gpu(const GpuConfig &cfg)
     stats_.smx.resize(cfg_.numSmx);
     activeSmxs_.reserve(cfg_.numSmx);
     smxActive_.assign(cfg_.numSmx, false);
+    smxArmedAt_.assign(cfg_.numSmx, kNoCycle);
 }
 
 Gpu::~Gpu() = default;
@@ -55,6 +56,17 @@ Gpu::noteSmxBusy(SmxId id)
     activeSmxs_.insert(
         std::lower_bound(activeSmxs_.begin(), activeSmxs_.end(), id),
         id);
+}
+
+void
+Gpu::noteSmxDrained(SmxId id)
+{
+    smxActive_[id] = false;
+    auto it =
+        std::lower_bound(activeSmxs_.begin(), activeSmxs_.end(), id);
+    laperm_assert(it != activeSmxs_.end() && *it == id,
+                  "draining an inactive SMX");
+    activeSmxs_.erase(it);
 }
 
 void
@@ -112,9 +124,182 @@ Gpu::tick()
 void
 Gpu::runToIdle(Cycle max_cycles)
 {
+    if (cfg_.tickMode == TickMode::Event) {
+        runEventLoop(max_cycles);
+        return;
+    }
     Cycle start = cycle_;
     while (!idle()) {
         tick();
+        if (cycle_ - start > max_cycles) {
+            laperm_panic("simulation exceeded %llu cycles "
+                         "(undispatched=%llu active=%llu pending=%zu)",
+                         static_cast<unsigned long long>(max_cycles),
+                         static_cast<unsigned long long>(undispatchedTbs_),
+                         static_cast<unsigned long long>(activeTbs_),
+                         launcher_->kmu().size());
+        }
+    }
+}
+
+void
+Gpu::armFrontEnd(Cycle cycle)
+{
+    // The front end is due at every non-maintenance batch, so it is a
+    // scalar deadline rather than a queued event (kNoCycle == unarmed).
+    feArmedAt_ = std::min(feArmedAt_, cycle);
+}
+
+void
+Gpu::armSmx(SmxId id, Cycle cycle)
+{
+    if (cycle >= smxArmedAt_[id])
+        return;
+    smxArmedAt_[id] = cycle;
+    eq_.schedule(cycle, SimEventKind::SmxTick, id);
+}
+
+void
+Gpu::armMaintenance(Cycle cycle)
+{
+    // Like the front end: one deadline, never two in flight.
+    maintArmedAt_ = std::min(maintArmedAt_, cycle);
+}
+
+/**
+ * Event-driven replacement for the dense loop. Correctness hinges on
+ * the front end (Launcher::tick + TbScheduler::dispatchOne) running at
+ * exactly the cycles the dense loop visits — failed dispatch attempts
+ * have observable side effects (SMX-Bind cursor rotation, KDU-full
+ * stall accounting) — so its arming rules replicate the dense visit
+ * set: the successor of every progress cycle, and on a no-progress
+ * cycle the same jump target the dense loop computes. SMX ticks with no
+ * eligible warp are side-effect-free, so SMXs park on the queue until
+ * their next wakeup instead of being polled.
+ */
+void
+Gpu::runEventLoop(Cycle max_cycles)
+{
+    const Cycle start = cycle_;
+    armFrontEnd(cycle_);
+    armMaintenance(std::max(cycle_, nextMshrTrimAt_));
+
+    while (!idle()) {
+        // The next batch is the earliest of the two scalar deadlines
+        // and the queue of parked SMXs.
+        const Cycle smxAt = eq_.empty() ? kNoCycle : eq_.top().cycle;
+        const Cycle t =
+            std::min({feArmedAt_, smxAt, maintArmedAt_});
+        laperm_assert(t != kNoCycle, "no next event with live work");
+        bool progress = false;
+
+        // Front-end phase: due when armed for this cycle, or — lazy
+        // wake (see feOnNextEvent_) — at the first batch with an SMX
+        // event. A maintenance-only batch is a cycle the dense loop
+        // never visits, so it must not attract a front-end visit.
+        // When both front-end halves prove their calls at t would
+        // observe and mutate nothing (no launch admittable, scheduler
+        // dispatch memo valid), the calls themselves are elided; the
+        // post-batch arming below still runs so SMX-driven progress
+        // (completions invalidate the memo) re-engages the front end
+        // at t+1 exactly as the dense loop would.
+        const bool fe_due =
+            feArmedAt_ == t || (feOnNextEvent_ && smxAt == t);
+        if (fe_due) {
+            feOnNextEvent_ = false;
+            if (feArmedAt_ == t)
+                feArmedAt_ = kNoCycle;
+            if (!launcher_->visitIsNoop(t) || !sched_->visitIsNoop(t)) {
+                bool launched = launcher_->tick(t);
+                bool dispatched = sched_->dispatchOne(t);
+                progress |= launched || dispatched;
+            }
+        }
+
+        // SMX phase: pop every tick due at t, in ascending SMX id
+        // (the queue key), replaying the dense loop's visit order.
+        while (!eq_.empty() && eq_.top().cycle == t) {
+            const SimEvent ev = eq_.pop();
+            const SmxId id = ev.id;
+            if (smxArmedAt_[id] != ev.cycle)
+                continue; // stale: re-armed for an earlier cycle
+            smxArmedAt_[id] = kNoCycle;
+            Smx &smx = *smxs_[id];
+            progress |= smx.tick(t);
+            if (smx.drained()) {
+                noteSmxDrained(id);
+            } else {
+                const Cycle next = smx.nextEventAt(t + 1);
+                if (next != kNoCycle)
+                    armSmx(id, next);
+            }
+        }
+
+        if (maintArmedAt_ == t) {
+            maintArmedAt_ = kNoCycle;
+            // See the dense loop for why trimming at the device clock
+            // is invisible to the timing model; because it is, the
+            // exact trim cycles may differ between modes.
+            mem_.trimMshrs(t);
+            nextMshrTrimAt_ = t + kMshrTrimInterval;
+            armMaintenance(nextMshrTrimAt_);
+        }
+
+        if (fe_due) {
+            if (progress) {
+                // The dense loop visits t+1 next (the "echo" visit:
+                // it usually finds no progress and jumps away). When
+                // both front-end halves prove their calls at t+1 would
+                // observe and mutate nothing — no launch admittable by
+                // then, scheduler dispatch memo still valid — the echo
+                // can be elided outright: its SMX ticks are no-ops as
+                // well (an SMX due at t+1 would be armed, and the
+                // batch would happen anyway). The jump the dense loop
+                // computes out of that visit is replicated below with
+                // the same nextReadyAt calls, evaluated at t+1; its
+                // SMX component is the queue top, via the lazy wake.
+                if (launcher_->visitIsNoop(t + 1) &&
+                    sched_->visitIsNoop(t + 1)) {
+                    const Cycle target =
+                        std::min(launcher_->nextReadyAt(t + 1),
+                                 sched_->nextReadyAt(t + 1));
+                    if (target != kNoCycle)
+                        armFrontEnd(target);
+                    feOnNextEvent_ = true;
+                } else {
+                    armFrontEnd(t + 1);
+                }
+            } else {
+                // The dense loop's no-progress jump. Its SMX component
+                // (min over active SMXs' nextEventAt) is exactly the
+                // earliest armed SMX event, so the queue supplies it
+                // via the lazy wake; only the launcher/scheduler
+                // delays need naming here. Both calls are kept even
+                // though only their min is used: the scheduler's
+                // nextReadyAt prunes internal state, and dense/event
+                // parity requires identical call sequences.
+                const Cycle target =
+                    std::min(launcher_->nextReadyAt(t),
+                             sched_->nextReadyAt(t));
+                if (target != kNoCycle && target > t) {
+                    armFrontEnd(target);
+                } else if (!eq_.empty()) {
+                    // No nameable delay, but parked SMX events exist:
+                    // the lazy wake below re-engages the front end.
+                } else {
+                    // The dense loop crawls (++cycle) when the jump
+                    // has no target: progress may need repeated
+                    // front-end visits (SMX-Bind examines one SMX per
+                    // cycle, rotating its cursor on failure). With no
+                    // SMX events queued, replicate the crawl or the
+                    // front end would starve.
+                    armFrontEnd(t + 1);
+                }
+                feOnNextEvent_ = true;
+            }
+        }
+
+        cycle_ = t + 1;
         if (cycle_ - start > max_cycles) {
             laperm_panic("simulation exceeded %llu cycles "
                          "(undispatched=%llu active=%llu pending=%zu)",
@@ -158,8 +343,9 @@ Gpu::dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now)
     laperm_assert(!unit.exhausted(), "dispatching an exhausted unit");
     const std::uint32_t ix = unit.nextTb++;
 
-    auto tb = buildThreadBlock(*unit.program, ix, unit.threadsPerTb,
-                               unit.count);
+    ThreadBlock *tb = smxs_[smx]->acquireTb();
+    buildThreadBlockInto(*tb, *unit.program, ix, unit.threadsPerTb,
+                         unit.count, ctxScratch_);
     tb->uid = nextTbUid_++;
     tb->kernel = unit.kernel;
     tb->priority = unit.priority;
@@ -180,11 +366,17 @@ Gpu::dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now)
                          tb->priority, tb->isDynamic, tb->directParent,
                          now});
     }
-    smxs_[smx]->acceptTb(std::move(tb), now);
+    smxs_[smx]->acceptTb(tb, now);
     // A TB whose warps are all empty completes inside acceptTb; only
     // track the SMX while it actually holds work.
-    if (!smxs_[smx]->drained())
+    if (!smxs_[smx]->drained()) {
         noteSmxBusy(smx);
+        // Same-cycle hand-off: the SMX-tick phase of this very cycle
+        // must see the new TB (the dense loop ticks SMXs after
+        // dispatch).
+        if (cfg_.tickMode == TickMode::Event)
+            armSmx(smx, now);
+    }
 }
 
 void
@@ -208,6 +400,15 @@ Gpu::tbCompleted(ThreadBlock &tb, Cycle now)
     kdu_.tbFinished(tb.kernel);
     laperm_assert(activeTbs_ > 0, "active TB underflow");
     --activeTbs_;
+    // The SMX just freed this TB's resources; a memoized scheduler
+    // must retry its dispatch scan.
+    sched_->noteCapacityFreed();
+}
+
+void
+Gpu::dispatchCapacityFreed()
+{
+    sched_->noteCapacityFreed();
 }
 
 } // namespace laperm

@@ -14,10 +14,12 @@
 #include "dynpar/launcher.hh"
 #include "gpu/kdu.hh"
 #include "gpu/smx.hh"
+#include "kernels/thread_ctx.hh"
 #include "mem/mem_system.hh"
 #include "obs/event.hh"
 #include "sched/tb_scheduler.hh"
 #include "sim/config.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace laperm {
@@ -99,11 +101,19 @@ class Gpu : public SmxCallbacks, public DispatchContext
     void deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
                       Cycle now) override;
     void tbCompleted(ThreadBlock &tb, Cycle now) override;
+    void dispatchCapacityFreed() override;
 
   private:
     void tick();
     bool idle() const;
     void noteSmxBusy(SmxId id);
+    void noteSmxDrained(SmxId id);
+
+    // --- Event-driven core (DESIGN.md §11) ---
+    void runEventLoop(Cycle max_cycles);
+    void armFrontEnd(Cycle cycle);
+    void armSmx(SmxId id, Cycle cycle);
+    void armMaintenance(Cycle cycle);
 
     GpuConfig cfg_;
     MemSystem mem_;
@@ -124,6 +134,29 @@ class Gpu : public SmxCallbacks, public DispatchContext
     /** Amortized MSHR garbage collection (see tick()). */
     static constexpr Cycle kMshrTrimInterval = 4096;
     Cycle nextMshrTrimAt_ = 0;
+
+    /**
+     * Event-mode state. Each component tracks the cycle of its live
+     * queue entry (kNoCycle when unarmed); an arm for an earlier cycle
+     * pushes a new entry and orphans the old one, which pop detects by
+     * comparing its cycle against the armed cycle (stale-skip).
+     */
+    EventQueue eq_;
+    Cycle feArmedAt_ = kNoCycle;
+    Cycle maintArmedAt_ = kNoCycle;
+    std::vector<Cycle> smxArmedAt_;
+    /**
+     * Lazy front-end wake: set when a no-progress front-end visit
+     * could not name its next cycle from launcher/scheduler delays
+     * alone. The dense jump target's SMX component is exactly the
+     * earliest armed SMX event, so instead of polling every active
+     * SMX's nextEventAt, the front end fires at the next
+     * non-maintenance batch the queue surfaces.
+     */
+    bool feOnNextEvent_ = false;
+
+    /** Per-thread trace contexts reused across TB builds. */
+    std::vector<ThreadCtx> ctxScratch_;
 
     GpuStats stats_;
     Cycle cycle_ = 0;

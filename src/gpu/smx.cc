@@ -42,11 +42,24 @@ Smx::evaluateThrottle()
     } else if (miss < cfg_.throttleLowMiss &&
                effectiveMaxTbs_ < cfg_.maxTbsPerSmx) {
         ++effectiveMaxTbs_;
+        callbacks_.dispatchCapacityFreed();
     }
 }
 
+ThreadBlock *
+Smx::acquireTb()
+{
+    if (!tbFree_.empty()) {
+        ThreadBlock *tb = tbFree_.back();
+        tbFree_.pop_back();
+        return tb;
+    }
+    tbArena_.push_back(std::make_unique<ThreadBlock>());
+    return tbArena_.back().get();
+}
+
 void
-Smx::acceptTb(std::unique_ptr<ThreadBlock> tb, Cycle now)
+Smx::acceptTb(ThreadBlock *tb, Cycle now)
 {
     laperm_assert(canAccommodate(tb->numThreads, tb->regs, tb->smem),
                   "TB dispatched to a full SMX %u", id_);
@@ -56,23 +69,22 @@ Smx::acceptTb(std::unique_ptr<ThreadBlock> tb, Cycle now)
     regsUsed_ += tb->regs;
     smemUsed_ += tb->smem;
 
-    ThreadBlock *tbp = tb.get();
-    residentTbs_.push_back(std::move(tb));
+    residentTbs_.push_back(tb);
 
     bool any_live = false;
-    for (Warp &warp : tbp->warps) {
+    for (Warp &warp : tb->warps) {
         warp.age = nextWarpAge_++;
         warp.readyAt = now;
         if (warp.ops.empty()) {
             warp.done = true;
-            ++tbp->warpsDone;
+            ++tb->warpsDone;
             continue;
         }
         warpSched_.addWarp(&warp);
         any_live = true;
     }
     if (!any_live)
-        completeTb(*tbp, now);
+        completeTb(*tb, now);
 }
 
 bool
@@ -94,6 +106,11 @@ Smx::tick(Cycle now)
         }
         warpSched_.issued(s, warp, now);
         executeOp(*warp, now);
+        // Re-file by the new readyAt — unless the op parked the warp at
+        // a barrier (loc is then None, or Pending if the barrier
+        // released synchronously and woke it).
+        if (warp->loc == WarpLoc::Ready)
+            warpSched_.requeue(warp);
         issued_any = true;
     }
     if (issued_any) {
@@ -157,6 +174,10 @@ Smx::executeOp(Warp &warp, Cycle now)
       case OpKind::Bar: {
         ThreadBlock &tb = *warp.tb;
         warp.atBarrier = true;
+        // Park before a possible synchronous release so the release
+        // wakes this warp through the same None -> Pending path as the
+        // rest of its TB.
+        warpSched_.parkAtBarrier(&warp);
         ++tb.warpsAtBarrier;
         ++stats_.barrierStalls;
         std::uint32_t alive =
@@ -181,6 +202,7 @@ Smx::releaseBarrier(ThreadBlock &tb, Cycle now)
         if (warp.atBarrier) {
             warp.atBarrier = false;
             warp.readyAt = now + cfg_.barLatency;
+            warpSched_.wakeFromBarrier(&warp);
         }
     }
     tb.warpsAtBarrier = 0;
@@ -216,11 +238,11 @@ Smx::completeTb(ThreadBlock &tb, Cycle now)
 
     callbacks_.tbCompleted(tb, now);
 
-    auto it = std::find_if(residentTbs_.begin(), residentTbs_.end(),
-                           [&](const auto &p) { return p.get() == &tb; });
+    auto it = std::find(residentTbs_.begin(), residentTbs_.end(), &tb);
     laperm_assert(it != residentTbs_.end(), "completing unknown TB");
-    *it = std::move(residentTbs_.back());
+    *it = residentTbs_.back();
     residentTbs_.pop_back();
+    tbFree_.push_back(&tb);
 }
 
 Cycle

@@ -33,6 +33,13 @@ class SmxCallbacks
 
     /** A TB retired; resources are already freed. */
     virtual void tbCompleted(ThreadBlock &tb, Cycle now) = 0;
+
+    /**
+     * Dispatch capacity grew without a TB retiring (the contention
+     * throttle raised effectiveMaxTbs). Lets the TB scheduler drop a
+     * memoized scan failure; timing-neutral, so a no-op by default.
+     */
+    virtual void dispatchCapacityFreed() {}
 };
 
 /** One SMX. */
@@ -46,8 +53,14 @@ class Smx
     bool canAccommodate(std::uint32_t threads, std::uint32_t regs,
                         std::uint32_t smem) const;
 
-    /** Take ownership of a freshly built TB and make it schedulable. */
-    void acceptTb(std::unique_ptr<ThreadBlock> tb, Cycle now);
+    /**
+     * Get a blank block from this SMX's arena (recycled from a completed
+     * TB when possible) for the caller to build into before acceptTb.
+     */
+    ThreadBlock *acquireTb();
+
+    /** Make an arena block built via acquireTb schedulable. */
+    void acceptTb(ThreadBlock *tb, Cycle now);
 
     /**
      * Issue up to warpSchedulersPerSmx warp ops at @p now.
@@ -87,7 +100,14 @@ class Smx
     SmxCallbacks &callbacks_;
     WarpScheduler warpSched_;
 
-    std::vector<std::unique_ptr<ThreadBlock>> residentTbs_;
+    /**
+     * TB storage: every block ever acquired lives in the arena for the
+     * SMX's lifetime; completed blocks return to the free list and are
+     * recycled (with their warp/op buffers) by the next acquireTb.
+     */
+    std::vector<std::unique_ptr<ThreadBlock>> tbArena_;
+    std::vector<ThreadBlock *> tbFree_;
+    std::vector<ThreadBlock *> residentTbs_;
 
     std::uint32_t threadsUsed_ = 0;
     std::uint32_t regsUsed_ = 0;

@@ -6,37 +6,69 @@
 
 namespace laperm {
 
-std::unique_ptr<ThreadBlock>
-buildThreadBlock(const KernelProgram &program, std::uint32_t tb_index,
-                 std::uint32_t threads_per_tb, std::uint32_t num_tbs)
+void
+buildThreadBlockInto(ThreadBlock &tb, const KernelProgram &program,
+                     std::uint32_t tb_index, std::uint32_t threads_per_tb,
+                     std::uint32_t num_tbs,
+                     std::vector<ThreadCtx> &thread_scratch)
 {
     laperm_assert(threads_per_tb > 0, "empty TB");
 
-    auto tb = std::make_unique<ThreadBlock>();
-    tb->tbIndex = tb_index;
-    tb->numThreads = threads_per_tb;
-    tb->regs = program.regsPerThread() * threads_per_tb;
-    tb->smem = program.smemPerTb();
+    tb.uid = 0;
+    tb.kernel = nullptr;
+    tb.tbIndex = tb_index;
+    tb.smx = kNoSmx;
+    tb.dispatchCycle = 0;
+    tb.priority = 0;
+    tb.directParent = kNoTb;
+    tb.isDynamic = false;
+    tb.numThreads = threads_per_tb;
+    tb.regs = program.regsPerThread() * threads_per_tb;
+    tb.smem = program.smemPerTb();
+    tb.warpsAtBarrier = 0;
+    tb.warpsDone = 0;
 
-    std::vector<ThreadCtx> threads;
-    threads.reserve(threads_per_tb);
     for (std::uint32_t t = 0; t < threads_per_tb; ++t) {
-        threads.emplace_back(tb_index, t, threads_per_tb, num_tbs);
-        program.emitThread(threads.back());
+        if (t < thread_scratch.size())
+            thread_scratch[t].reset(tb_index, t, threads_per_tb, num_tbs);
+        else
+            thread_scratch.emplace_back(tb_index, t, threads_per_tb,
+                                        num_tbs);
+        program.emitThread(thread_scratch[t]);
     }
 
     const std::uint32_t num_warps =
         (threads_per_tb + kWarpSize - 1) / kWarpSize;
-    tb->warps.resize(num_warps);
+    tb.warps.resize(num_warps);
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         std::uint32_t first = w * kWarpSize;
         std::uint32_t count =
             std::min(kWarpSize, threads_per_tb - first);
-        Warp &warp = tb->warps[w];
-        warp.ops = buildWarpOps(threads, first, count);
+        Warp &warp = tb.warps[w];
+        buildWarpOpsInto(warp.ops, thread_scratch, first, count);
+        warp.pc = 0;
+        warp.readyAt = 0;
+        warp.atBarrier = false;
+        warp.done = false;
+        warp.loc = WarpLoc::None;
+        warp.readyIx = 0;
+        warp.age = 0;
+        warp.lastIssue = 0;
+        warp.slot = 0;
         warp.numThreads = count;
-        warp.tb = tb.get();
+        warp.tb = &tb;
     }
+}
+
+std::unique_ptr<ThreadBlock>
+buildThreadBlock(const KernelProgram &program, std::uint32_t tb_index,
+                 std::uint32_t threads_per_tb, std::uint32_t num_tbs)
+{
+    auto tb = std::make_unique<ThreadBlock>();
+    std::vector<ThreadCtx> threads;
+    threads.reserve(threads_per_tb);
+    buildThreadBlockInto(*tb, program, tb_index, threads_per_tb, num_tbs,
+                         threads);
     return tb;
 }
 

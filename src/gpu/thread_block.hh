@@ -14,6 +14,7 @@
 #include "common/types.hh"
 #include "gpu/warp.hh"
 #include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
 
 namespace laperm {
 
@@ -58,6 +59,19 @@ class ThreadBlock
 std::unique_ptr<ThreadBlock> buildThreadBlock(
     const KernelProgram &program, std::uint32_t tb_index,
     std::uint32_t threads_per_tb, std::uint32_t num_tbs);
+
+/**
+ * As buildThreadBlock, but (re)builds into @p tb — typically a recycled
+ * block from an SMX arena — reusing its warps' op buffers and the
+ * caller-provided @p thread_scratch contexts. Every ThreadBlock and
+ * Warp field is reinitialized, so a recycled block is indistinguishable
+ * from a freshly allocated one.
+ */
+void buildThreadBlockInto(ThreadBlock &tb, const KernelProgram &program,
+                          std::uint32_t tb_index,
+                          std::uint32_t threads_per_tb,
+                          std::uint32_t num_tbs,
+                          std::vector<ThreadCtx> &thread_scratch);
 
 } // namespace laperm
 

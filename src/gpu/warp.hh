@@ -16,6 +16,14 @@ namespace laperm {
 
 class ThreadBlock;
 
+/** Which WarpScheduler structure currently holds a warp. */
+enum class WarpLoc : std::uint8_t
+{
+    None,    ///< not filed (at a barrier, retired, or not yet added)
+    Ready,   ///< in its slot's ready list (readyAt has passed)
+    Pending, ///< in its slot's pending heap, keyed by readyAt
+};
+
 /** A warp: instruction stream plus scheduling state. */
 class Warp
 {
@@ -29,6 +37,11 @@ class Warp
     bool atBarrier = false;
     /** All ops issued and drained; the warp has retired. */
     bool done = false;
+
+    /** Which scheduler structure files this warp (see WarpScheduler). */
+    WarpLoc loc = WarpLoc::None;
+    /** Index into the ready list while loc == Ready (else unused). */
+    std::uint32_t readyIx = 0;
 
     /** Global dispatch-order stamp; GTO "oldest" tie-break. */
     std::uint64_t age = 0;

@@ -7,10 +7,67 @@
 
 namespace laperm {
 
+namespace {
+
+/** Min-heap order on (readyAt, age); ages are globally unique. */
+struct PendingAfter
+{
+    bool operator()(const auto &a, const auto &b) const
+    {
+        if (a.readyAt != b.readyAt)
+            return a.readyAt > b.readyAt;
+        return a.age > b.age;
+    }
+};
+
+} // namespace
+
 WarpScheduler::WarpScheduler(std::uint32_t num_slots, WarpPolicy policy)
     : policy_(policy), slots_(num_slots)
 {
     laperm_assert(num_slots > 0, "need at least one warp scheduler");
+}
+
+void
+WarpScheduler::fileReady(Slot &slot, Warp *warp)
+{
+    warp->loc = WarpLoc::Ready;
+    warp->readyIx = static_cast<std::uint32_t>(slot.ready.size());
+    const ThreadBlock *tb = warp->tb;
+    slot.ready.push_back({warp->age, warp->lastIssue,
+                          tb ? tb->directParent : kNoTb, tb != nullptr,
+                          warp});
+}
+
+void
+WarpScheduler::filePending(Slot &slot, Warp *warp)
+{
+    warp->loc = WarpLoc::Pending;
+    slot.pending.push_back({warp->readyAt, warp->age, warp});
+    std::push_heap(slot.pending.begin(), slot.pending.end(),
+                   PendingAfter{});
+}
+
+void
+WarpScheduler::eraseReady(Slot &slot, std::uint32_t ix)
+{
+    Warp *moved = slot.ready.back().warp;
+    slot.ready[ix] = slot.ready.back();
+    slot.ready.pop_back();
+    if (moved->loc == WarpLoc::Ready && ix < slot.ready.size())
+        moved->readyIx = ix;
+}
+
+void
+WarpScheduler::drainPending(Slot &slot, Cycle now)
+{
+    while (!slot.pending.empty() && slot.pending.front().readyAt <= now) {
+        Warp *warp = slot.pending.front().warp;
+        std::pop_heap(slot.pending.begin(), slot.pending.end(),
+                      PendingAfter{});
+        slot.pending.pop_back();
+        fileReady(slot, warp);
+    }
 }
 
 void
@@ -19,7 +76,7 @@ WarpScheduler::addWarp(Warp *warp)
     std::uint32_t slot =
         static_cast<std::uint32_t>(nextAssign_++ % slots_.size());
     warp->slot = slot;
-    slots_[slot].warps.push_back(warp);
+    filePending(slots_[slot], warp);
     ++liveWarps_;
 }
 
@@ -27,22 +84,63 @@ void
 WarpScheduler::removeWarp(Warp *warp)
 {
     Slot &slot = slots_[warp->slot];
-    auto it = std::find(slot.warps.begin(), slot.warps.end(), warp);
-    laperm_assert(it != slot.warps.end(), "removing unknown warp");
-    *it = slot.warps.back();
-    slot.warps.pop_back();
+    if (warp->loc == WarpLoc::Ready) {
+        laperm_assert(warp->readyIx < slot.ready.size() &&
+                          slot.ready[warp->readyIx].warp == warp,
+                      "ready index out of sync");
+        eraseReady(slot, warp->readyIx);
+    } else if (warp->loc == WarpLoc::Pending) {
+        auto it = std::find_if(
+            slot.pending.begin(), slot.pending.end(),
+            [warp](const PendingEntry &e) { return e.warp == warp; });
+        laperm_assert(it != slot.pending.end(), "removing unknown warp");
+        slot.pending.erase(it);
+        std::make_heap(slot.pending.begin(), slot.pending.end(),
+                       PendingAfter{});
+    } else {
+        laperm_fatal("removing a warp that is not filed");
+    }
+    warp->loc = WarpLoc::None;
     if (slot.greedy == warp)
         slot.greedy = nullptr;
     --liveWarps_;
+}
+
+void
+WarpScheduler::requeue(Warp *warp)
+{
+    Slot &slot = slots_[warp->slot];
+    laperm_assert(warp->loc == WarpLoc::Ready, "requeue of non-ready warp");
+    eraseReady(slot, warp->readyIx);
+    filePending(slot, warp);
+}
+
+void
+WarpScheduler::parkAtBarrier(Warp *warp)
+{
+    Slot &slot = slots_[warp->slot];
+    laperm_assert(warp->loc == WarpLoc::Ready, "parking a non-ready warp");
+    eraseReady(slot, warp->readyIx);
+    warp->loc = WarpLoc::None;
+}
+
+void
+WarpScheduler::wakeFromBarrier(Warp *warp)
+{
+    laperm_assert(warp->loc == WarpLoc::None, "waking a filed warp");
+    filePending(slots_[warp->slot], warp);
 }
 
 Warp *
 WarpScheduler::pick(std::uint32_t slot_ix, Cycle now)
 {
     Slot &slot = slots_[slot_ix];
+    drainPending(slot, now);
 
+    // After the drain, "filed in ready" is exactly the old eligibility
+    // predicate (!done && !atBarrier && readyAt <= now).
     const bool greedy_like = policy_ != WarpPolicy::LRR;
-    if (greedy_like && slot.greedy && eligible(slot.greedy, now))
+    if (greedy_like && slot.greedy && slot.greedy->loc == WarpLoc::Ready)
         return slot.greedy;
 
     // TB-aware family preference: the TB family (direct parent) of
@@ -55,51 +153,51 @@ WarpScheduler::pick(std::uint32_t slot_ix, Cycle now)
         have_family = true;
     }
 
-    Warp *best = nullptr;
+    const ReadyEntry *best = nullptr;
     bool best_in_family = false;
-    for (Warp *w : slot.warps) {
-        if (!eligible(w, now))
-            continue;
-        bool in_family = have_family && w->tb &&
-                         w->tb->directParent == family;
+    for (const ReadyEntry &e : slot.ready) {
+        bool in_family = have_family && e.hasTb && e.family == family;
         if (!best) {
-            best = w;
+            best = &e;
             best_in_family = in_family;
             continue;
         }
         switch (policy_) {
           case WarpPolicy::GTO:
-            if (w->age < best->age)
-                best = w; // oldest
+            if (e.age < best->age)
+                best = &e; // oldest
             break;
           case WarpPolicy::LRR:
             // Least-recently issued first, oldest tie-break.
-            if (w->lastIssue < best->lastIssue ||
-                (w->lastIssue == best->lastIssue && w->age < best->age)) {
-                best = w;
+            if (e.lastIssue < best->lastIssue ||
+                (e.lastIssue == best->lastIssue && e.age < best->age)) {
+                best = &e;
             }
             break;
           case WarpPolicy::TbAware:
             // Family first, then oldest within the same class.
             if (in_family != best_in_family) {
                 if (in_family) {
-                    best = w;
+                    best = &e;
                     best_in_family = true;
                 }
-            } else if (w->age < best->age) {
-                best = w;
+            } else if (e.age < best->age) {
+                best = &e;
             }
             break;
         }
     }
-    return best;
+    return best ? best->warp : nullptr;
 }
 
 void
 WarpScheduler::issued(std::uint32_t slot_ix, Warp *warp, Cycle now)
 {
-    slots_[slot_ix].greedy = warp;
+    Slot &slot = slots_[slot_ix];
+    slot.greedy = warp;
     warp->lastIssue = now;
+    if (warp->loc == WarpLoc::Ready)
+        slot.ready[warp->readyIx].lastIssue = now;
 }
 
 Cycle
@@ -107,11 +205,11 @@ WarpScheduler::nextWakeup(Cycle now) const
 {
     Cycle best = kNoCycle;
     for (const Slot &slot : slots_) {
-        for (const Warp *w : slot.warps) {
-            if (w->done || w->atBarrier)
-                continue;
-            best = std::min(best, std::max(w->readyAt, now));
-        }
+        if (!slot.ready.empty())
+            return now;
+        if (!slot.pending.empty())
+            best = std::min(best,
+                            std::max(slot.pending.front().readyAt, now));
     }
     return best;
 }

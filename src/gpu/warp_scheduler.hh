@@ -4,6 +4,15 @@
  * picking among its warps with greedy-then-oldest (GTO) or loose
  * round-robin (LRR). LaPerm is deliberately orthogonal to this layer
  * (paper Section IV-F).
+ *
+ * Warps are partitioned per slot into a *ready* list (readyAt has
+ * passed; scanned by pick) and a *pending* min-heap keyed by
+ * (readyAt, age) (never scanned; drained into ready as time advances).
+ * Barrier-parked warps leave both structures until released. The ready
+ * list stores the fields each policy compares (age, lastIssue, TB
+ * family) inline, so the selection loop never chases Warp pointers.
+ * Selection is a total order over eligible warps (ages are globally
+ * unique), so the partition changes scan cost but never the winner.
  */
 
 #ifndef LAPERM_GPU_WARP_SCHEDULER_HH
@@ -35,12 +44,25 @@ class WarpScheduler
 
     /**
      * Select a warp eligible to issue at @p now from @p slot, honouring
-     * the policy; nullptr if none is ready.
+     * the policy; nullptr if none is ready. Drains the slot's pending
+     * heap up to @p now first.
      */
     Warp *pick(std::uint32_t slot, Cycle now);
 
     /** Record that @p warp issued at @p now (updates greedy/recency). */
     void issued(std::uint32_t slot, Warp *warp, Cycle now);
+
+    /**
+     * Re-file a ready warp after its readyAt moved forward (an op
+     * issued). Files into the pending heap keyed by the new readyAt.
+     */
+    void requeue(Warp *warp);
+
+    /** Unfile a warp that just blocked on its TB barrier. */
+    void parkAtBarrier(Warp *warp);
+
+    /** File a barrier-released warp by its (future) readyAt. */
+    void wakeFromBarrier(Warp *warp);
 
     /** Earliest cycle any warp becomes ready; kNoCycle if none pending. */
     Cycle nextWakeup(Cycle now) const;
@@ -53,16 +75,36 @@ class WarpScheduler
     std::uint32_t liveWarps() const { return liveWarps_; }
 
   private:
+    /** Hot fields for one ready warp, hoisted out of Warp. */
+    struct ReadyEntry
+    {
+        std::uint64_t age;
+        Cycle lastIssue;
+        TbUid family; ///< the TB's direct parent (TbAware grouping)
+        bool hasTb;   ///< family is meaningful (kNoTb is a real value)
+        Warp *warp;
+    };
+
+    /** Heap node for one stalled warp, keyed by wakeup time. */
+    struct PendingEntry
+    {
+        Cycle readyAt;
+        std::uint64_t age;
+        Warp *warp;
+    };
+
     struct Slot
     {
-        std::vector<Warp *> warps;
+        std::vector<ReadyEntry> ready;
+        std::vector<PendingEntry> pending; ///< min-heap (readyAt, age)
         Warp *greedy = nullptr;
     };
 
-    bool eligible(const Warp *warp, Cycle now) const
-    {
-        return !warp->done && !warp->atBarrier && warp->readyAt <= now;
-    }
+    void fileReady(Slot &slot, Warp *warp);
+    void filePending(Slot &slot, Warp *warp);
+    void eraseReady(Slot &slot, std::uint32_t ix);
+    /** Promote every pending warp with readyAt <= @p now to ready. */
+    void drainPending(Slot &slot, Cycle now);
 
     WarpPolicy policy_;
     std::vector<Slot> slots_;

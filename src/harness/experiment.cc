@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "common/log.hh"
@@ -28,6 +29,17 @@ paperConfig()
     cfg.l2Size = 1536 * 1024;
     cfg.kduEntries = 32;
     cfg.warpPolicy = WarpPolicy::GTO;
+    // LAPERM_TICK_MODE=dense|event selects the simulation core's
+    // time-advance strategy for every harness run (used by the
+    // differential determinism gate; results are byte-identical).
+    if (const char *tm = std::getenv("LAPERM_TICK_MODE")) {
+        if (!std::strcmp(tm, "dense"))
+            cfg.tickMode = TickMode::Dense;
+        else if (!std::strcmp(tm, "event"))
+            cfg.tickMode = TickMode::Event;
+        else if (*tm)
+            laperm_fatal("bad LAPERM_TICK_MODE '%s'", tm);
+    }
     return cfg;
 }
 

@@ -12,6 +12,18 @@ ThreadCtx::ThreadCtx(std::uint32_t tb_index, std::uint32_t thread_index,
 }
 
 void
+ThreadCtx::reset(std::uint32_t tb_index, std::uint32_t thread_index,
+                 std::uint32_t threads_per_tb, std::uint32_t num_tbs)
+{
+    tbIndex_ = tb_index;
+    threadIndex_ = thread_index;
+    threadsPerTb_ = threads_per_tb;
+    numTbs_ = num_tbs;
+    ops_.clear();
+    launches_.clear();
+}
+
+void
 ThreadCtx::ld(Addr addr, std::uint32_t bytes)
 {
     Addr first = lineAddr(addr);

@@ -24,6 +24,13 @@ class ThreadCtx
     ThreadCtx(std::uint32_t tb_index, std::uint32_t thread_index,
               std::uint32_t threads_per_tb, std::uint32_t num_tbs);
 
+    /**
+     * Reinitialize for a new thread, keeping the trace buffers'
+     * capacity (arena reuse in the TB build hot path).
+     */
+    void reset(std::uint32_t tb_index, std::uint32_t thread_index,
+               std::uint32_t threads_per_tb, std::uint32_t num_tbs);
+
     /** Index of this thread's TB within its launch (blockIdx.x). */
     std::uint32_t tbIndex() const { return tbIndex_; }
     /** Index of this thread within its TB (threadIdx.x). */

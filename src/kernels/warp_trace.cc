@@ -1,22 +1,32 @@
 #include "kernels/warp_trace.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "common/log.hh"
 
 namespace laperm {
 
-std::vector<WarpOp>
-buildWarpOps(const std::vector<ThreadCtx> &threads,
-             std::uint32_t first_thread, std::uint32_t count)
+void
+buildWarpOpsInto(std::vector<WarpOp> &out,
+                 const std::vector<ThreadCtx> &threads,
+                 std::uint32_t first_thread, std::uint32_t count)
 {
     laperm_assert(count > 0 && count <= kWarpSize,
                   "warp with %u threads", count);
     laperm_assert(first_thread + count <= threads.size(),
                   "warp range out of bounds");
 
-    std::vector<std::uint32_t> pc(count, 0);
-    std::vector<WarpOp> out;
+    // Worst case (full serialization) emits one warp op per thread op;
+    // reserving it makes the build realloc-free. The resize(used) at
+    // the end keeps the capacity for the next build into this vector.
+    std::size_t bound = 0;
+    for (std::uint32_t l = 0; l < count; ++l)
+        bound += threads[first_thread + l].ops().size();
+    out.reserve(bound);
+
+    std::array<std::uint32_t, kWarpSize> pc{};
+    std::size_t used = 0;
 
     auto remaining = [&](std::uint32_t lane) {
         return pc[lane] < threads[first_thread + lane].ops().size();
@@ -47,9 +57,15 @@ buildWarpOps(const std::vector<ThreadCtx> &threads,
         if (leader == count)
             leader = first_live; // all live lanes at the barrier
 
+        if (used == out.size())
+            out.emplace_back();
+        WarpOp &op = out[used++];
         const OpKind kind = cur(leader).kind;
-        WarpOp op;
         op.kind = kind;
+        op.activeLanes = 0;
+        op.aluCycles = 0;
+        op.lines.clear();
+        op.launches.clear();
 
         for (std::uint32_t l = leader; l < count; ++l) {
             if (!remaining(l) || cur(l).kind != kind)
@@ -79,8 +95,16 @@ buildWarpOps(const std::vector<ThreadCtx> &threads,
             op.lines.erase(std::unique(op.lines.begin(), op.lines.end()),
                            op.lines.end());
         }
-        out.push_back(std::move(op));
     }
+    out.resize(used);
+}
+
+std::vector<WarpOp>
+buildWarpOps(const std::vector<ThreadCtx> &threads,
+             std::uint32_t first_thread, std::uint32_t count)
+{
+    std::vector<WarpOp> out;
+    buildWarpOpsInto(out, threads, first_thread, count);
     return out;
 }
 

@@ -38,6 +38,15 @@ std::vector<WarpOp> buildWarpOps(const std::vector<ThreadCtx> &threads,
                                  std::uint32_t first_thread,
                                  std::uint32_t count);
 
+/**
+ * As buildWarpOps, but rebuilds into @p out, reusing its elements'
+ * line/launch buffers (arena reuse in the TB build hot path). @p threads
+ * may hold more than first_thread + count contexts; extras are ignored.
+ */
+void buildWarpOpsInto(std::vector<WarpOp> &out,
+                      const std::vector<ThreadCtx> &threads,
+                      std::uint32_t first_thread, std::uint32_t count);
+
 } // namespace laperm
 
 #endif // LAPERM_KERNELS_WARP_TRACE_HH

@@ -29,11 +29,41 @@ class RrScheduler : public TbScheduler
     void enqueue(DispatchUnit *unit, Cycle now) override;
     bool dispatchOne(Cycle now) override;
     Cycle nextReadyAt(Cycle now) const override;
+    void noteCapacityFreed() override { stuck_ = false; }
+
+    /** A memo-valid cycle is exactly dispatchOne's O(1) fast path. */
+    bool visitIsNoop(Cycle c) const override
+    {
+        return stuck_ && c < stuckReadyAt_;
+    }
 
   private:
+    /** One TB's resource demand; equal shapes fit identically. */
+    struct Shape
+    {
+        std::uint32_t threads;
+        std::uint32_t regs;
+        std::uint32_t smem;
+        bool operator==(const Shape &) const = default;
+    };
+
     std::deque<DispatchUnit *> units_; ///< FCFS order
     SmxId cursor_ = 0;
     std::size_t compactAbove_ = 128;
+
+    /**
+     * Failed-scan memo: a failed dispatchOne is a pure function of the
+     * unit queue, the rotation cursor, and per-SMX free resources.
+     * None of those can change except through enqueue(), a dispatch
+     * (which only follows a successful scan), noteCapacityFreed(), or
+     * a delayed unit reaching its readyAt — so until one of them
+     * happens the scan provably still fails and is skipped in O(1).
+     */
+    bool stuck_ = false;
+    /** Earliest readyAt among delayed units seen by the failed scan. */
+    Cycle stuckReadyAt_ = kNoCycle;
+    /** Per-scan scratch: shapes that already failed on every SMX. */
+    std::vector<Shape> blockedShapes_;
 };
 
 /**

@@ -13,11 +13,20 @@ void
 RrScheduler::enqueue(DispatchUnit *unit, Cycle)
 {
     units_.push_back(unit);
+    stuck_ = false;
 }
 
 bool
 RrScheduler::dispatchOne(Cycle now)
 {
+    // A failed scan stays a failure until the machine state it read
+    // changes (see the memo's invariant in policies.hh); skip the
+    // rescan outright. Deferring the queue compaction below is fine —
+    // it only drops units the scan would ignore anyway.
+    if (stuck_ && now < stuckReadyAt_)
+        return false;
+    stuck_ = false;
+
     while (!units_.empty() && units_.front()->exhausted())
         units_.pop_front();
     // Amortized compaction of mid-queue exhausted units so the
@@ -32,13 +41,28 @@ RrScheduler::dispatchOne(Cycle now)
 
     const std::uint32_t n = ctx_.numSmx();
     std::uint32_t examined = 0;
+    Cycle earliestDelayed = kNoCycle;
+    blockedShapes_.clear();
     for (DispatchUnit *unit : units_) {
-        if (unit->exhausted() || unit->readyAt > now)
+        if (unit->exhausted())
             continue;
+        if (unit->readyAt > now) {
+            earliestDelayed = std::min(earliestDelayed, unit->readyAt);
+            continue;
+        }
         // The hardware KDU exposes a bounded window of concurrent
         // kernels; do not scan arbitrarily deep past blocked units.
         if (++examined > 64)
             break;
+        // A demand that already failed on every SMX this scan fails
+        // again: the cursor and SMX occupancy are unchanged since, so
+        // the probe sequence — and its outcome — would be identical.
+        const Shape shape{unit->threadsPerTb, unit->regsPerTb,
+                          unit->smemPerTb};
+        if (std::find(blockedShapes_.begin(), blockedShapes_.end(),
+                      shape) != blockedShapes_.end()) {
+            continue;
+        }
         // Next SMX with enough available resources, starting from the
         // rotation cursor (Section II-B).
         for (std::uint32_t j = 0; j < n; ++j) {
@@ -49,9 +73,15 @@ RrScheduler::dispatchOne(Cycle now)
                 return true;
             }
         }
+        blockedShapes_.push_back(shape);
         // This kernel's TB fits nowhere; concurrent kernel execution
         // lets the next KDU kernel try (Section II-B).
     }
+    // Delayed units past the 64-unit window can't invalidate the memo:
+    // the window's members are fixed until a dispatch or enqueue, and
+    // both of those clear it.
+    stuck_ = true;
+    stuckReadyAt_ = earliestDelayed;
     return false;
 }
 

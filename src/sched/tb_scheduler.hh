@@ -66,6 +66,24 @@ class TbScheduler
      */
     virtual Cycle nextReadyAt(Cycle now) const = 0;
 
+    /**
+     * Dispatch capacity may have grown (a TB completed and freed SMX
+     * resources, or the contention throttle raised a residency cap).
+     * Policies that memoize a failed dispatch scan must drop the memo
+     * here; purely an optimization hook, so a no-op by default.
+     */
+    virtual void noteCapacityFreed() {}
+
+    /**
+     * True when a dispatchOne call at cycle @p c would provably return
+     * false with no observable side effect, letting the event loop
+     * elide the visit entirely. Policies whose failed attempts have
+     * visible effects (SMX-Bind cursor rotation, Adaptive-Bind
+     * adoption bookkeeping) must keep the default false so the event
+     * loop keeps replicating every dense-loop visit.
+     */
+    virtual bool visitIsNoop(Cycle) const { return false; }
+
     /** Factory selecting the policy from @p cfg. */
     static std::unique_ptr<TbScheduler> create(const GpuConfig &cfg,
                                                DispatchContext &ctx);

@@ -205,10 +205,12 @@ SimService::execute(const SimRequest &req, const std::string &key,
 
     executed_.fetch_add(1, std::memory_order_relaxed);
     if (error.empty()) {
-        cacheMisses_.fetch_add(1, std::memory_order_relaxed);
         if (!cache_.store(key, payload))
             laperm_warn("result cache store failed for key %s",
                         key.c_str());
+        // Counted after the store completes: an observed miss implies
+        // the cached result is already readable by a retry.
+        cacheMisses_.fetch_add(1, std::memory_order_relaxed);
     }
     execUs_.fetch_add(nowUs() - tStart, std::memory_order_relaxed);
 

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The time-ordered event queue at the heart of the event-driven
+ * simulator core (DESIGN.md §11): an integer-cycle min-heap whose pop
+ * order is a pure function of the schedule, so event-mode runs are
+ * byte-identical to the dense reference loop.
+ */
+
+#ifndef LAPERM_SIM_EVENT_QUEUE_HH
+#define LAPERM_SIM_EVENT_QUEUE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace laperm {
+
+/**
+ * Component kinds, in intra-cycle phase order. The order mirrors one
+ * dense Gpu::tick(): the front end (launcher admission + TB dispatch)
+ * runs first, then the SMXs in ascending id order, then amortized
+ * maintenance — so an event-mode cycle replays a dense cycle exactly.
+ */
+enum class SimEventKind : std::uint8_t
+{
+    FrontEnd = 0,    ///< Launcher::tick + TbScheduler::dispatchOne
+    SmxTick = 1,     ///< one Smx::tick (id = SmxId)
+    Maintenance = 2, ///< amortized MSHR trim (timing-invisible)
+};
+
+/** One scheduled wakeup. */
+struct SimEvent
+{
+    Cycle cycle;
+    SimEventKind kind;
+    std::uint32_t id;  ///< component instance (SmxId for SmxTick)
+    std::uint64_t seq; ///< insertion order; the final tie-break
+};
+
+/**
+ * Min-heap of SimEvents keyed by (cycle, kind, id, seq). The composite
+ * key makes pop order deterministic even when several components are
+ * due at the same cycle: phases replay in dense-tick order, SMXs in
+ * ascending id order, and equal keys in insertion order. seq is
+ * assigned at schedule() time from a private counter, so two runs that
+ * schedule the same events in the same order pop them identically.
+ *
+ * Invariant: no event may be scheduled in the past. schedule() asserts
+ * cycle >= the cycle of the most recently popped event (same-cycle
+ * scheduling is legal and used for same-cycle phase hand-offs, e.g.
+ * dispatching a TB arms its SMX for the very cycle being processed).
+ */
+class EventQueue
+{
+  public:
+    void schedule(Cycle cycle, SimEventKind kind, std::uint32_t id)
+    {
+        laperm_assert(cycle != kNoCycle, "scheduling the never-cycle");
+        laperm_assert(cycle >= lastPop_,
+                      "event scheduled in the past (%llu < %llu)",
+                      static_cast<unsigned long long>(cycle),
+                      static_cast<unsigned long long>(lastPop_));
+        heap_.push_back({cycle, kind, id, nextSeq_++});
+        std::push_heap(heap_.begin(), heap_.end(), After{});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** The earliest event (undefined when empty). */
+    const SimEvent &top() const
+    {
+        laperm_assert(!heap_.empty(), "top() on an empty event queue");
+        return heap_.front();
+    }
+
+    /** Pop the earliest event; pops are monotone in cycle. */
+    SimEvent pop()
+    {
+        laperm_assert(!heap_.empty(), "pop() on an empty event queue");
+        std::pop_heap(heap_.begin(), heap_.end(), After{});
+        SimEvent ev = heap_.back();
+        heap_.pop_back();
+        laperm_assert(ev.cycle >= lastPop_, "event-queue order violation");
+        lastPop_ = ev.cycle;
+        return ev;
+    }
+
+    /** Cycle of the most recently popped event (0 before any pop). */
+    Cycle lastPopCycle() const { return lastPop_; }
+
+  private:
+    /** Strict weak ordering: a after b in pop order. */
+    struct After
+    {
+        bool operator()(const SimEvent &a, const SimEvent &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            if (a.kind != b.kind)
+                return a.kind > b.kind;
+            if (a.id != b.id)
+                return a.id > b.id;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<SimEvent> heap_;
+    std::uint64_t nextSeq_ = 0;
+    Cycle lastPop_ = 0;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_SIM_EVENT_QUEUE_HH

@@ -18,6 +18,8 @@
  *     --cdp-latency N   CDP launch latency in cycles
  *     --dtbl-latency N  DTBL launch latency in cycles
  *     --warp-sched W    gto | lrr
+ *     --tick-mode T     event | dense (default event; dense is the
+ *                       reference loop, byte-identical results)
  *     --csv             one CSV row per run instead of the report
  *     --list            list workload names and exit
  *
@@ -82,7 +84,8 @@ usage(const char *argv0)
                  "[--scale tiny|small|full] [--seed N] [--smx N] "
                  "[--l1-kb N] [--l2-kb N] [--levels N] "
                  "[--cdp-latency N] [--dtbl-latency N] "
-                 "[--warp-sched gto|lrr] [--csv] [--list] "
+                 "[--warp-sched gto|lrr] [--tick-mode event|dense] "
+                 "[--csv] [--list] "
                  "[--trace FILE] [--trace-json FILE] "
                  "[--trace-intervals FILE] [--interval N] "
                  "[--latency-hist FILE] [--locality FILE]\n",
@@ -216,6 +219,14 @@ main(int argc, char **argv)
                 opt.cfg.warpPolicy = WarpPolicy::GTO;
             else if (w == "lrr")
                 opt.cfg.warpPolicy = WarpPolicy::LRR;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(a, "--tick-mode")) {
+            std::string t = next_arg(i);
+            if (t == "event")
+                opt.cfg.tickMode = TickMode::Event;
+            else if (t == "dense")
+                opt.cfg.tickMode = TickMode::Dense;
             else
                 usage(argv[0]);
         } else if (!std::strcmp(a, "--trace")) {

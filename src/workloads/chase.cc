@@ -1,0 +1,121 @@
+#include "workloads/chase.hh"
+
+#include <memory>
+#include <numeric>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "kernels/kernel_program.hh"
+#include "kernels/thread_ctx.hh"
+
+namespace laperm {
+
+namespace {
+
+struct ChaseData
+{
+    std::uint32_t numTbs = 0;
+    std::uint32_t steps = 0;
+    /** Successor table of one ring per thread, rings back to back. */
+    std::vector<std::uint32_t> next;
+    Addr ringA = 0;
+    Addr outA = 0;
+    std::uint32_t funcId = 0;
+};
+
+/**
+ * One thread per TB so a TB occupies a whole warp slot with a single
+ * lane: the least concurrency the machine can hold while every SMX
+ * still has resident work to poll.
+ */
+class ChaseProgram : public KernelProgram
+{
+  public:
+    explicit ChaseProgram(std::shared_ptr<const ChaseData> d)
+        : d_(std::move(d))
+    {}
+
+    std::string name() const override { return "chase_ring"; }
+    std::uint32_t functionId() const override { return d_->funcId; }
+    std::uint32_t regsPerThread() const override { return 16; }
+
+    void
+    emitThread(ThreadCtx &ctx) const override
+    {
+        const ChaseData &d = *d_;
+        const std::uint32_t t = ctx.globalThreadIndex();
+        // Desynchronize the warps so their DRAM returns interleave
+        // instead of arriving in lockstep.
+        ctx.alu(1 + (t * 7) % 97);
+        std::uint32_t pos = t * d.steps;
+        for (std::uint32_t i = 0; i < d.steps; ++i) {
+            // Each ring entry owns a full line; every step is a cold
+            // miss and the next address depends on the loaded value.
+            ctx.ld(d.ringA + static_cast<Addr>(pos) * kLineBytes, 8);
+            ctx.alu(1);
+            pos = d.next[pos];
+        }
+        ctx.st(d.outA + 8ull * t, 8);
+    }
+
+  private:
+    std::shared_ptr<const ChaseData> d_;
+};
+
+/** Sattolo's algorithm: one cycle over [first, first+n). */
+void
+buildRing(std::vector<std::uint32_t> &next, std::uint32_t first,
+          std::uint32_t n, Rng &rng)
+{
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), first);
+    for (std::uint32_t i = n - 1; i > 0; --i) {
+        std::uint32_t j =
+            static_cast<std::uint32_t>(rng.nextBounded(i));
+        std::swap(order[i], order[j]);
+    }
+    for (std::uint32_t i = 0; i < n; ++i)
+        next[order[i]] = order[(i + 1) % n];
+}
+
+} // namespace
+
+void
+ChaseWorkload::setup(Scale scale, std::uint64_t seed)
+{
+    scale_ = scale;
+    seed_ = seed;
+    if (input_ != "ring")
+        laperm_fatal("unknown chase input '%s'", input_.c_str());
+
+    auto d = std::make_shared<ChaseData>();
+    switch (scale) {
+      case Scale::Tiny:
+        d->numTbs = 26;
+        d->steps = 120;
+        break;
+      case Scale::Small:
+        d->numTbs = 26;
+        d->steps = 5000;
+        break;
+      default:
+        d->numTbs = 26;
+        d->steps = 16000;
+        break;
+    }
+
+    const std::uint32_t entries = d->numTbs * d->steps;
+    d->next.resize(entries);
+    Rng rng(seed);
+    for (std::uint32_t t = 0; t < d->numTbs; ++t)
+        buildRing(d->next, t * d->steps, d->steps, rng);
+
+    d->ringA = mem_.allocArray(entries, kLineBytes, "ring");
+    d->outA = mem_.allocArray(d->numTbs, 8, "out");
+    d->funcId = allocateFunctionId();
+
+    waves_.clear();
+    waves_.push_back({std::make_shared<ChaseProgram>(d), d->numTbs, 1});
+}
+
+} // namespace laperm

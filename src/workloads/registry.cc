@@ -4,6 +4,7 @@
 #include "workloads/amr.hh"
 #include "workloads/bfs.hh"
 #include "workloads/bht.hh"
+#include "workloads/chase.hh"
 #include "workloads/clr.hh"
 #include "workloads/join.hh"
 #include "workloads/pre.hh"
@@ -49,6 +50,10 @@ createWorkload(const std::string &name)
         return std::make_unique<AmrWorkload>();
     if (app == "bht")
         return std::make_unique<BhtWorkload>();
+    // Latency microbenchmark, intentionally absent from workloadNames()
+    // so the Table II sweeps and result caches stay paper-faithful.
+    if (app == "chase")
+        return std::make_unique<ChaseWorkload>(input);
     if (app == "bfs")
         return std::make_unique<BfsWorkload>(input);
     if (app == "clr")

@@ -42,8 +42,10 @@ TEST(WarpScheduler, GtoSticksToGreedyWarp)
     sched.issued(0, first, 0);
     // Both ready: the greedy warp keeps issuing.
     EXPECT_EQ(sched.pick(0, 1), &a);
-    // Greedy stalls: fall back to the oldest ready.
+    // Greedy stalls (its op pushed readyAt forward): re-file it into
+    // the pending heap and fall back to the oldest ready warp.
     a.readyAt = 100;
+    sched.requeue(&a);
     EXPECT_EQ(sched.pick(0, 1), &b);
 }
 
@@ -70,24 +72,36 @@ TEST(WarpScheduler, SkipsBarrierAndDoneWarps)
     Warp a = makeWarp(0), b = makeWarp(1);
     sched.addWarp(&a);
     sched.addWarp(&b);
+    // a issues its barrier op and parks: it leaves the ready list
+    // until the TB releases it.
+    ASSERT_EQ(sched.pick(0, 0), &a);
     a.atBarrier = true;
+    sched.parkAtBarrier(&a);
     EXPECT_EQ(sched.pick(0, 0), &b);
+    // b runs out of ops and retires.
     b.done = true;
+    sched.removeWarp(&b);
     EXPECT_EQ(sched.pick(0, 0), nullptr);
 }
 
 TEST(WarpScheduler, NextWakeupIgnoresBlockedWarps)
 {
     WarpScheduler sched(2, WarpPolicy::GTO);
+    // Slots round-robin: a, c land in slot 0; b in slot 1.
     Warp a = makeWarp(0, 50), b = makeWarp(1, 30), c = makeWarp(2, 10);
     for (Warp *w : {&a, &b, &c})
         sched.addWarp(w);
+    // c becomes ready at 10 and parks at its barrier.
+    ASSERT_EQ(sched.pick(0, 10), &c);
     c.atBarrier = true;
+    sched.parkAtBarrier(&c);
     EXPECT_EQ(sched.nextWakeup(0), 30u);
+    // b retires while still stalled.
     b.done = true;
+    sched.removeWarp(&b);
     EXPECT_EQ(sched.nextWakeup(0), 50u);
     // A warp that's already ready wakes "now".
-    a.readyAt = 0;
+    ASSERT_EQ(sched.pick(0, 50), &a);
     EXPECT_EQ(sched.nextWakeup(7), 7u);
 }
 

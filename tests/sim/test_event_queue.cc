@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Invariants of the event queue at the heart of the event-driven core
+ * (DESIGN.md §11): pops are monotone in cycle, ties break in dense
+ * phase order (kind, then id, then insertion), the past is
+ * unschedulable, and same-cycle scheduling after a pop stays legal
+ * (the dispatch → SMX hand-off depends on it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace laperm;
+
+TEST(EventQueue, PopsInCycleOrder)
+{
+    EventQueue q;
+    for (Cycle c : {Cycle{5}, Cycle{3}, Cycle{9}, Cycle{3}, Cycle{7}})
+        q.schedule(c, SimEventKind::SmxTick, 0);
+    ASSERT_EQ(q.size(), 5u);
+
+    std::vector<Cycle> popped;
+    while (!q.empty()) {
+        const Cycle at_top = q.top().cycle;
+        EXPECT_EQ(at_top, q.pop().cycle); // top agrees with pop
+        popped.push_back(q.lastPopCycle());
+    }
+    const std::vector<Cycle> expect = {3, 3, 5, 7, 9};
+    EXPECT_EQ(popped, expect);
+}
+
+TEST(EventQueue, TieBreakMirrorsDensePhaseOrder)
+{
+    // One cycle, scheduled in deliberately scrambled order: pops must
+    // replay a dense tick — front end, SMXs ascending, maintenance.
+    EventQueue q;
+    q.schedule(10, SimEventKind::Maintenance, 0);
+    q.schedule(10, SimEventKind::SmxTick, 2);
+    q.schedule(10, SimEventKind::SmxTick, 0);
+    q.schedule(10, SimEventKind::FrontEnd, 0);
+
+    SimEvent ev = q.pop();
+    EXPECT_EQ(ev.kind, SimEventKind::FrontEnd);
+    ev = q.pop();
+    EXPECT_EQ(ev.kind, SimEventKind::SmxTick);
+    EXPECT_EQ(ev.id, 0u);
+    ev = q.pop();
+    EXPECT_EQ(ev.kind, SimEventKind::SmxTick);
+    EXPECT_EQ(ev.id, 2u);
+    ev = q.pop();
+    EXPECT_EQ(ev.kind, SimEventKind::Maintenance);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualKeysPopInScheduleOrder)
+{
+    EventQueue q;
+    q.schedule(4, SimEventKind::SmxTick, 7);
+    q.schedule(4, SimEventKind::SmxTick, 7);
+    q.schedule(4, SimEventKind::SmxTick, 7);
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    while (!q.empty()) {
+        const SimEvent ev = q.pop();
+        if (!first) {
+            EXPECT_GT(ev.seq, last_seq);
+        }
+        last_seq = ev.seq;
+        first = false;
+    }
+}
+
+TEST(EventQueue, SameCycleSchedulingAfterPopIsLegal)
+{
+    // Dispatching a TB arms its SMX for the cycle being processed;
+    // the queue must accept an event at exactly lastPopCycle().
+    EventQueue q;
+    q.schedule(10, SimEventKind::FrontEnd, 0);
+    (void)q.pop();
+    EXPECT_EQ(q.lastPopCycle(), 10u);
+    q.schedule(10, SimEventKind::SmxTick, 1);
+    EXPECT_EQ(q.top().cycle, 10u);
+    EXPECT_EQ(q.pop().id, 1u);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPopStaysMonotone)
+{
+    // Deterministic pseudo-random interleaving: every pop must be
+    // >= the previous one no matter how schedules and pops mix.
+    EventQueue q;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    Cycle last = 0;
+    std::size_t pops = 0;
+    for (int round = 0; round < 200; ++round) {
+        const Cycle base = q.lastPopCycle();
+        for (int i = 0; i < 3; ++i) {
+            q.schedule(base + next() % 50,
+                       SimEventKind::SmxTick,
+                       static_cast<std::uint32_t>(next() % 13));
+        }
+        for (int i = 0; i < 2 && !q.empty(); ++i) {
+            const SimEvent ev = q.pop();
+            EXPECT_GE(ev.cycle, last);
+            last = ev.cycle;
+            ++pops;
+        }
+    }
+    while (!q.empty()) {
+        const SimEvent ev = q.pop();
+        EXPECT_GE(ev.cycle, last);
+        last = ev.cycle;
+        ++pops;
+    }
+    EXPECT_EQ(pops, 600u);
+}
+
+using EventQueueDeathTest = ::testing::Test;
+
+TEST(EventQueueDeathTest, RefusesPastScheduling)
+{
+    EventQueue q;
+    q.schedule(10, SimEventKind::SmxTick, 0);
+    (void)q.pop();
+    EXPECT_DEATH(q.schedule(9, SimEventKind::SmxTick, 0),
+                 "scheduled in the past");
+}
+
+TEST(EventQueueDeathTest, RefusesTheNeverCycle)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.schedule(kNoCycle, SimEventKind::SmxTick, 0),
+                 "never-cycle");
+}
