@@ -15,6 +15,11 @@
 #
 # Serving rules: the serving binaries and every protocol verb declared
 # in src/serve/protocol.hh must be documented (README.md or DESIGN.md).
+#
+# sim-lint rules: every lint rule the analyzer can emit (ruleName() in
+# src/tools/sim_lint.cc) must be documented in DESIGN.md, every rule
+# name the docs cite must exist, and `sim_lint` joins the CLI binaries
+# whose documented flags are checked against their sources.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,24 +110,32 @@ submit_flags=$(grep -ohE '"--[a-z0-9-]+"' src/tools/laperm_submit.cc |
     tr -d '"' | sort -u)
 served_flags=$(grep -ohE '"--[a-z0-9-]+"' src/tools/laperm_served.cc |
     tr -d '"' | sort -u)
+lint_flags=$(grep -ohE '"--[a-z0-9-]+"' src/tools/sim_lint_main.cc |
+    tr -d '"' | sort -u)
 bad_flags=$(awk \
-    -v sim="$sim_flags" -v submit="$submit_flags" -v served="$served_flags" '
+    -v sim="$sim_flags" -v submit="$submit_flags" \
+    -v served="$served_flags" -v lint="$lint_flags" '
     function load(list, set,   n, a, i) {
         n = split(list, a, "\n")
         for (i = 1; i <= n; i++) set[a[i]] = 1
     }
-    BEGIN { load(sim, simf); load(submit, subf); load(served, serf) }
-    function checkblock(   n, parts, i, f, ok, hasSim, hasSub, hasSer) {
+    BEGIN {
+        load(sim, simf); load(submit, subf); load(served, serf)
+        load(lint, lintf)
+    }
+    function checkblock(   n, parts, i, f, ok, hasSim, hasSub, hasSer,
+                           hasLint) {
         hasSim = block ~ /laperm_sim([^a-z_]|$)/
         hasSub = block ~ /laperm_submit/
         hasSer = block ~ /laperm_served/
-        if (!hasSim && !hasSub && !hasSer) return
+        hasLint = block ~ /(^|[^a-z_.])sim_lint([^a-z_]|$)/
+        if (!hasSim && !hasSub && !hasSer && !hasLint) return
         n = split(block, parts, /[[:space:]]+/)
         for (i = 1; i <= n; i++) {
             f = parts[i]
             if (f !~ /^--[a-z0-9-]+$/) continue
             ok = (hasSim && (f in simf)) || (hasSub && (f in subf)) ||
-                 (hasSer && (f in serf))
+                 (hasSer && (f in serf)) || (hasLint && (f in lintf))
             if (!ok) print f
         }
     }
@@ -148,6 +161,27 @@ doc_flags=$(awk '
     ' $all_docs | grep -oE '(^|[[:space:]])--[a-z0-9-]+' |
     tr -d ' \t' | sort -u)
 
+# --- sim-lint rules: emitted <-> documented ----------------------------
+# "unknown" is ruleName()'s defensive default arm, not a rule.
+lint_rules=$(grep -oE 'return "[a-z][a-z-]+";' src/tools/sim_lint.cc |
+    sed -E 's/return "([a-z-]+)";/\1/' | grep -vx unknown | sort -u)
+[ -n "$lint_rules" ] || err "could not extract sim-lint rule names"
+for r in $lint_rules; do
+    if ! grep -q "\`$r\`" DESIGN.md; then
+        err "sim-lint rule '$r' is not documented in DESIGN.md"
+    fi
+done
+# Reverse: every `rule-name` cited in DESIGN.md §12's rule tables (the
+# backticked kebab-case tokens that look like rules, i.e. appear in a
+# sim-lint allow() or rule-list context) must be a real rule.
+doc_rules=$(grep -ohE 'allow\([a-z-]+\)' $all_docs |
+    sed -E 's/allow\(([a-z-]+)\)/\1/' | sort -u)
+for r in $doc_rules; do
+    if ! grep -qx "$r" <<<"$lint_rules"; then
+        err "docs reference unknown sim-lint rule '$r' in an allow()"
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "docs-check: FAILED" >&2
     exit 1
@@ -155,4 +189,5 @@ fi
 echo "docs-check: OK ($(echo "$bench_targets" | wc -l) bench targets, \
 $(echo "$example_targets" | wc -l) examples, \
 $(echo "$verbs" | wc -l) protocol verbs, \
-$(echo "$doc_flags" | grep -c -- --) documented flags checked)"
+$(echo "$doc_flags" | grep -c -- --) documented flags, \
+$(echo "$lint_rules" | wc -l) sim-lint rules checked)"

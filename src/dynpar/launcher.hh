@@ -14,7 +14,7 @@
 #include "gpu/kdu.hh"
 #include "gpu/kmu.hh"
 #include "gpu/thread_block.hh"
-#include "obs/event.hh"
+#include "sim/observer.hh"
 #include "sched/tb_scheduler.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"

@@ -30,7 +30,7 @@ Gpu::addDispatchHook(DispatchHook hook, void *ctx)
 }
 
 void
-Gpu::setLocalityTracker(obs::LocalityTracker *tracker)
+Gpu::setLocalityTracker(obs::MemObserver *tracker)
 {
     mem_.setLocalityTracker(tracker);
 }

@@ -16,7 +16,7 @@
 #include "gpu/smx.hh"
 #include "kernels/thread_ctx.hh"
 #include "mem/mem_system.hh"
-#include "obs/event.hh"
+#include "sim/observer.hh"
 #include "sched/tb_scheduler.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
@@ -89,7 +89,7 @@ class Gpu : public SmxCallbacks, public DispatchContext
      * every L1/L2 access to it. Pass nullptr to detach. The tracker
      * must outlive the run.
      */
-    void setLocalityTracker(obs::LocalityTracker *tracker);
+    void setLocalityTracker(obs::MemObserver *tracker);
 
     // --- DispatchContext ---
     std::uint32_t numSmx() const override { return cfg_.numSmx; }

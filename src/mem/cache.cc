@@ -151,7 +151,7 @@ Cache::trimExpiredMshr(Cycle safe_now)
         return;
     // Order-independent erase filter: the surviving entry set is the
     // same whatever order buckets are visited, and nothing downstream
-    // observes the traversal. sim-lint: allow(unordered-iter)
+    // observes the traversal.
     for (auto it = mshr_.begin(); it != mshr_.end();) {
         if (it->second <= safe_now)
             it = mshr_.erase(it);

@@ -15,8 +15,8 @@
 #include "common/types.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
-#include "obs/locality.hh"
 #include "sim/config.hh"
+#include "sim/observer.hh"
 
 namespace laperm {
 
@@ -47,14 +47,11 @@ class MemSystem
                 const obs::MemAccessor *who = nullptr);
 
     /**
-     * Attach locality-attribution counters (nullptr to detach). Pure
-     * observation: timing is unaffected. The tracker must have been
-     * constructed with numL1() instances and outlive this object.
+     * Attach a per-access observer (nullptr to detach). Pure
+     * observation: timing is unaffected. The observer must expect
+     * numL1() L1 instances and outlive this object.
      */
-    void setLocalityTracker(obs::LocalityTracker *tracker)
-    {
-        loc_ = tracker;
-    }
+    void setLocalityTracker(obs::MemObserver *tracker) { loc_ = tracker; }
 
     void reset();
 
@@ -92,7 +89,7 @@ class MemSystem
     std::unique_ptr<Cache> l2_;
     std::optional<Dram> dram_;
     std::vector<Cycle> l2BankFreeAt_;
-    obs::LocalityTracker *loc_ = nullptr;
+    obs::MemObserver *loc_ = nullptr;
 };
 
 } // namespace laperm

@@ -15,17 +15,10 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/observer.hh"
 
 namespace laperm {
 namespace obs {
-
-/** Identity of the TB performing a memory access. */
-struct MemAccessor
-{
-    TbUid uid = kNoTb;
-    TbUid directParent = kNoTb;
-    bool isDynamic = false;
-};
 
 /** Reuse relationship between a hit and the line's previous toucher. */
 enum class ReuseClass : std::uint8_t
@@ -71,18 +64,21 @@ struct LocalityCounters
  * attached the memory system skips all of this. The maps are only ever
  * point-looked-up, never iterated, so bucket order cannot leak into
  * any output.
+ *
+ * Implements the MemObserver interface the memory system publishes
+ * through (sim/observer.hh) — the engine never sees this class.
  */
-class LocalityTracker
+class LocalityTracker : public MemObserver
 {
   public:
     explicit LocalityTracker(std::uint32_t num_l1);
 
     /** Record an L1 access; counts a hit into its reuse class. */
     void onL1Access(std::uint32_t l1_index, Addr line, bool hit,
-                    const MemAccessor &who);
+                    const MemAccessor &who) override;
 
     /** Record an L2 access; counts a hit into its reuse class. */
-    void onL2Access(Addr line, bool hit, const MemAccessor &who);
+    void onL2Access(Addr line, bool hit, const MemAccessor &who) override;
 
     /** Aggregated over all L1 instances. */
     const LocalityCounters &l1() const { return l1_; }

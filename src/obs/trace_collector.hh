@@ -17,7 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "obs/event.hh"
+#include "sim/observer.hh"
 
 namespace laperm {
 namespace obs {

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
-#include "obs/event.hh"
+#include "sim/observer.hh"
 
 namespace laperm {
 

@@ -1,13 +1,24 @@
 /**
  * @file
- * Observability event taxonomy: the flat, cycle-stamped records the
- * simulator emits into attached observers (DESIGN.md §8). Every
- * timestamp is a simulated cycle — observers never read wall-clock
- * time, so attaching one cannot perturb determinism.
+ * Observability *interface*: the flat, cycle-stamped records the
+ * simulator emits plus the abstract observer types it emits them into
+ * (DESIGN.md §8, §12). This header lives in sim/ — below every engine
+ * module — so gpu/mem/sched/dynpar can publish events without
+ * depending on the collector implementations in src/obs/. The include
+ * direction is enforced by sim-lint's layering pass (layering.toml):
+ * the engine may include sim/, obs/ may include sim/, but the engine
+ * must never include obs/.
+ *
+ * The types keep the `obs` namespace: the namespace names the
+ * observability *contract*, which spans this interface header and the
+ * collectors that implement it.
+ *
+ * Every timestamp is a simulated cycle — observers never read
+ * wall-clock time, so attaching one cannot perturb determinism.
  */
 
-#ifndef LAPERM_OBS_EVENT_HH
-#define LAPERM_OBS_EVENT_HH
+#ifndef LAPERM_SIM_OBSERVER_HH
+#define LAPERM_SIM_OBSERVER_HH
 
 #include <cstdint>
 #include <vector>
@@ -121,7 +132,36 @@ class ObserverHub
     std::vector<SimObserver *> observers_;
 };
 
+/** Identity of the TB performing a memory access. */
+struct MemAccessor
+{
+    TbUid uid = kNoTb;
+    TbUid directParent = kNoTb;
+    bool isDynamic = false;
+};
+
+/**
+ * Interface the memory system publishes per-access observations
+ * through (the locality-attribution hook, DESIGN.md §8.3). Like
+ * SimObserver, implementations must be pure observation: the memory
+ * system calls these *after* timing is decided, and detaching the
+ * observer must never change any simulated result.
+ */
+class MemObserver
+{
+  public:
+    virtual ~MemObserver() = default;
+
+    /** An L1 access on instance @p l1_index resolved as hit/miss. */
+    virtual void onL1Access(std::uint32_t l1_index, Addr line, bool hit,
+                            const MemAccessor &who) = 0;
+
+    /** An L2 access resolved as hit/miss. */
+    virtual void onL2Access(Addr line, bool hit,
+                            const MemAccessor &who) = 0;
+};
+
 } // namespace obs
 } // namespace laperm
 
-#endif // LAPERM_OBS_EVENT_HH
+#endif // LAPERM_SIM_OBSERVER_HH

@@ -46,6 +46,7 @@ struct DramStats
     double avgQueueCycles() const
     {
         std::uint64_t n = reads + writes;
+        // End-of-run reporting only. sim-lint: allow(cycle-float)
         return n ? static_cast<double>(totalQueueCycles) /
                        static_cast<double>(n)
                  : 0.0;

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Checked numeric parsing for CLI flags, shared by laperm_sim,
+ * laperm_submit and laperm_served. strtoul-family calls silently
+ * accept `--seed 12abc` (parses "12"), `--jobs -3` (wraps to a huge
+ * unsigned) and overflow (clamps to max with errno nobody checks) —
+ * and a config that half-parsed is worse than one that failed,
+ * because the run *looks* configured. These helpers accept exactly
+ * `[0-9]+` within range and report everything else, so each tool can
+ * fail loudly with its own error policy (usage(), laperm_fatal, ...).
+ */
+
+#ifndef LAPERM_TOOLS_CLI_PARSE_HH
+#define LAPERM_TOOLS_CLI_PARSE_HH
+
+#include <cstdint>
+
+namespace laperm {
+namespace cli {
+
+/**
+ * Parse a base-10 unsigned 64-bit value. Accepts only `[0-9]+` — no
+ * sign, no whitespace, no trailing junk, no overflow. @p out is
+ * untouched on failure.
+ */
+inline bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    if (s == nullptr || *s == '\0')
+        return false;
+    std::uint64_t v = 0;
+    for (const char *p = s; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        const std::uint64_t d = static_cast<std::uint64_t>(*p - '0');
+        if (v > (UINT64_MAX - d) / 10)
+            return false; // overflow
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
+}
+
+/** parseU64 restricted to 32-bit range. */
+inline bool
+parseU32(const char *s, std::uint32_t &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v) || v > 0xFFFFFFFFull)
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+} // namespace cli
+} // namespace laperm
+
+#endif // LAPERM_TOOLS_CLI_PARSE_HH

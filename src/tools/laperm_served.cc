@@ -24,6 +24,7 @@
 
 #include "common/log.hh"
 #include "serve/server.hh"
+#include "tools/cli_parse.hh"
 
 using namespace laperm;
 using namespace laperm::serve;
@@ -62,20 +63,35 @@ main(int argc, char **argv)
             usage(argv[0]);
         return argv[++i];
     };
+    auto parse_u32 = [&](const char *s, const char *what) {
+        std::uint32_t v = 0;
+        if (!cli::parseU32(s, v)) {
+            std::fprintf(stderr, "bad %s value '%s'\n", what, s);
+            std::exit(2);
+        }
+        return v;
+    };
+    auto parse_u64 = [&](const char *s, const char *what) {
+        std::uint64_t v = 0;
+        if (!cli::parseU64(s, v)) {
+            std::fprintf(stderr, "bad %s value '%s'\n", what, s);
+            std::exit(2);
+        }
+        return v;
+    };
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (!std::strcmp(a, "--socket")) {
             opts.socketPath = next_arg(i);
         } else if (!std::strcmp(a, "--jobs")) {
-            opts.service.jobs = static_cast<unsigned>(
-                std::strtoul(next_arg(i), nullptr, 10));
+            opts.service.jobs = parse_u32(next_arg(i), "--jobs");
         } else if (!std::strcmp(a, "--queue-capacity")) {
-            opts.service.queueCapacity = static_cast<std::size_t>(
-                std::strtoul(next_arg(i), nullptr, 10));
+            opts.service.queueCapacity =
+                parse_u32(next_arg(i), "--queue-capacity");
         } else if (!std::strcmp(a, "--timeout-ms")) {
             opts.service.timeoutMs =
-                std::strtoull(next_arg(i), nullptr, 10);
+                parse_u64(next_arg(i), "--timeout-ms");
         } else if (!std::strcmp(a, "--cache-dir")) {
             opts.service.cacheDir = next_arg(i);
         } else {

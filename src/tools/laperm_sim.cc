@@ -46,6 +46,7 @@
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
 #include "harness/table.hh"
+#include "tools/cli_parse.hh"
 #include "workloads/registry.hh"
 
 using namespace laperm;
@@ -96,11 +97,19 @@ usage(const char *argv0)
 std::uint32_t
 parseU32(const char *s, const char *what)
 {
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(s, &end, 10);
-    if (*s == '-' || end == s || *end != '\0' || v > 0xFFFFFFFFul)
+    std::uint32_t v = 0;
+    if (!cli::parseU32(s, v))
         laperm_fatal("bad %s value '%s'", what, s);
-    return static_cast<std::uint32_t>(v);
+    return v;
+}
+
+std::uint64_t
+parseU64(const char *s, const char *what)
+{
+    std::uint64_t v = 0;
+    if (!cli::parseU64(s, v))
+        laperm_fatal("bad %s value '%s'", what, s);
+    return v;
 }
 
 TbPolicy
@@ -197,7 +206,7 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--scale")) {
             opt.scale = scaleFromString(next_arg(i));
         } else if (!std::strcmp(a, "--seed")) {
-            opt.seed = std::strtoull(next_arg(i), nullptr, 10);
+            opt.seed = parseU64(next_arg(i), "--seed");
         } else if (!std::strcmp(a, "--smx")) {
             opt.cfg.numSmx = parseU32(next_arg(i), "--smx");
         } else if (!std::strcmp(a, "--l1-kb")) {
@@ -209,10 +218,10 @@ main(int argc, char **argv)
                 parseU32(next_arg(i), "--levels");
         } else if (!std::strcmp(a, "--cdp-latency")) {
             opt.cfg.cdpLaunchLatency =
-                std::strtoull(next_arg(i), nullptr, 10);
+                parseU64(next_arg(i), "--cdp-latency");
         } else if (!std::strcmp(a, "--dtbl-latency")) {
             opt.cfg.dtblLaunchLatency =
-                std::strtoull(next_arg(i), nullptr, 10);
+                parseU64(next_arg(i), "--dtbl-latency");
         } else if (!std::strcmp(a, "--warp-sched")) {
             std::string w = next_arg(i);
             if (w == "gto")

@@ -44,6 +44,7 @@
 #include "harness/result_cache.hh"
 #include "serve/client.hh"
 #include "serve/sim_request.hh"
+#include "tools/cli_parse.hh"
 
 using namespace laperm;
 using namespace laperm::serve;
@@ -247,13 +248,20 @@ main(int argc, char **argv)
         return argv[++i];
     };
     auto parse_u32 = [&](const char *s, const char *what) {
-        char *end = nullptr;
-        const unsigned long v = std::strtoul(s, &end, 10);
-        if (*s == '-' || end == s || *end != '\0' || v > 0xFFFFFFFFul) {
+        std::uint32_t v = 0;
+        if (!cli::parseU32(s, v)) {
             std::fprintf(stderr, "bad %s value '%s'\n", what, s);
             std::exit(2);
         }
-        return static_cast<std::uint32_t>(v);
+        return v;
+    };
+    auto parse_u64 = [&](const char *s, const char *what) {
+        std::uint64_t v = 0;
+        if (!cli::parseU64(s, v)) {
+            std::fprintf(stderr, "bad %s value '%s'\n", what, s);
+            std::exit(2);
+        }
+        return v;
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -293,7 +301,7 @@ main(int argc, char **argv)
             else
                 usage(argv[0]);
         } else if (!std::strcmp(a, "--seed")) {
-            req.seed = std::strtoull(next_arg(i), nullptr, 10);
+            req.seed = parse_u64(next_arg(i), "--seed");
         } else if (!std::strcmp(a, "--smx")) {
             req.cfg.numSmx = parse_u32(next_arg(i), "--smx");
         } else if (!std::strcmp(a, "--l1-kb")) {
@@ -305,10 +313,10 @@ main(int argc, char **argv)
                 parse_u32(next_arg(i), "--levels");
         } else if (!std::strcmp(a, "--cdp-latency")) {
             req.cfg.cdpLaunchLatency =
-                std::strtoull(next_arg(i), nullptr, 10);
+                parse_u64(next_arg(i), "--cdp-latency");
         } else if (!std::strcmp(a, "--dtbl-latency")) {
             req.cfg.dtblLaunchLatency =
-                std::strtoull(next_arg(i), nullptr, 10);
+                parse_u64(next_arg(i), "--dtbl-latency");
         } else if (!std::strcmp(a, "--warp-sched")) {
             std::string w = next_arg(i);
             if (w == "gto")
@@ -329,12 +337,12 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--shutdown")) {
             mode = Mode::Shutdown;
         } else if (!std::strcmp(a, "--retries")) {
-            copts.overloadRetries = static_cast<unsigned>(
-                std::strtoul(next_arg(i), nullptr, 10));
+            copts.overloadRetries = parse_u32(next_arg(i), "--retries");
         } else if (!std::strcmp(a, "--backoff-ms")) {
-            copts.backoffMs = std::strtoull(next_arg(i), nullptr, 10);
+            copts.backoffMs = parse_u64(next_arg(i), "--backoff-ms");
         } else if (!std::strcmp(a, "--timeout-ms")) {
-            copts.recvTimeoutMs = std::strtoull(next_arg(i), nullptr, 10);
+            copts.recvTimeoutMs =
+                parse_u64(next_arg(i), "--timeout-ms");
         } else {
             usage(argv[0]);
         }

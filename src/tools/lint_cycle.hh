@@ -1,0 +1,59 @@
+/**
+ * @file
+ * sim-lint cycle-safety pass (DESIGN.md §12.3): LaPerm's determinism
+ * story rests on simulated time being an integer (`Cycle`, a uint64)
+ * end-to-end — the event queue, every readyAt/nextEventAt deadline,
+ * and every latency sum. This pass tracks identifiers that denote
+ * cycle quantities and flags the constructs that silently leave the
+ * integer domain:
+ *
+ *  - cycle-float   float/double arithmetic, casts, or initialization
+ *                  involving a cycle identifier (non-associative FP
+ *                  rounding on timing is how byte-identity dies);
+ *  - cycle-narrow  casts of a cycle identifier to a narrower integer
+ *                  (uint32 wraps after ~4G cycles — long full-scale
+ *                  runs exceed that);
+ *  - cycle-sign    arithmetic/comparison mixing a cycle identifier
+ *                  with an identifier declared as a *signed* integer
+ *                  (usual-arithmetic-conversion wraparound on
+ *                  subtraction).
+ *
+ * An identifier denotes a cycle quantity when it is declared with type
+ * `Cycle` anywhere in the file, or matches the documented naming
+ * convention for deadlines: exactly `cycle`/`cycles`/`now` (plus the
+ * `_`-suffixed member forms), or ending in `Cycle`, `Cycles`, `At`,
+ * or `At_` (readyAt, nextEventAt, l2BankFreeAt_, ...).
+ *
+ * Scope: restricted simulator directories only (sim, sched, mem, gpu,
+ * dynpar, obs) — harness and bench code may average cycles into
+ * doubles for reporting. End-of-run *reporting* inside the simulator
+ * (IPC, utilization) is legal but must be justified with an
+ * allow(cycle-float) waiver comment, which the suppression audit
+ * keeps honest.
+ */
+
+#ifndef LAPERM_TOOLS_LINT_CYCLE_HH
+#define LAPERM_TOOLS_LINT_CYCLE_HH
+
+#include <string>
+#include <vector>
+
+#include "tools/sim_lint.hh"
+
+namespace laperm {
+namespace simlint {
+
+/** True when @p name denotes a cycle quantity by naming convention. */
+bool isCycleName(const std::string &name);
+
+/**
+ * Cycle-safety pass over one translation unit. Only fires inside
+ * restricted directories (FileScope::restricted).
+ */
+std::vector<Finding> lintCycleSafety(const std::string &path,
+                                     const std::string &content);
+
+} // namespace simlint
+} // namespace laperm
+
+#endif // LAPERM_TOOLS_LINT_CYCLE_HH

@@ -1,0 +1,146 @@
+#include "tools/lint_event.hh"
+
+#include <regex>
+
+namespace laperm {
+namespace simlint {
+
+namespace {
+
+/**
+ * First argument of a call: the text from @p open (which must be '(')
+ * up to the first comma at paren/template depth 0, or the balanced
+ * close. Multi-line calls return the rest of the line — subtraction in
+ * a wrapped first argument still lands on the schedule() line or the
+ * continuation, both of which this pass scans.
+ */
+std::string
+firstArg(const std::string &s, std::size_t open)
+{
+    if (open >= s.size() || s[open] != '(')
+        return "";
+    int parens = 0;
+    int angles = 0;
+    for (std::size_t i = open; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '(')
+            ++parens;
+        else if (c == ')') {
+            if (--parens == 0)
+                return s.substr(open + 1, i - open - 1);
+        } else if (c == '<')
+            ++angles;
+        else if (c == '>' && angles > 0)
+            --angles;
+        else if (c == ',' && parens == 1 && angles == 0)
+            return s.substr(open + 1, i - open - 1);
+    }
+    return s.substr(open + 1);
+}
+
+/** A binary/unary minus that is not part of "->" or "--". */
+bool
+hasMinus(const std::string &expr)
+{
+    for (std::size_t i = 0; i < expr.size(); ++i) {
+        if (expr[i] != '-')
+            continue;
+        const char next = i + 1 < expr.size() ? expr[i + 1] : '\0';
+        const char prev = i > 0 ? expr[i - 1] : '\0';
+        if (next == '>' || next == '-' || prev == '-')
+            continue; // arrow or decrement
+        return true;
+    }
+    return false;
+}
+
+bool
+endsWithPath(const std::string &path, const char *suffix)
+{
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+}
+
+} // namespace
+
+std::vector<Finding>
+lintEventDiscipline(const std::string &path, const std::string &content)
+{
+    std::vector<Finding> findings;
+    if (!classifyPath(path).restricted)
+        return findings;
+
+    const bool isQueueHeader = endsWithPath(path, "sim/event_queue.hh");
+    const bool isGpuCc = endsWithPath(path, "gpu/gpu.cc");
+
+    const std::vector<std::string> lines =
+        splitLines(stripCommentsAndStrings(content));
+
+    static const std::regex scheduleCall(
+        R"((?:\.|->)\s*schedule\s*\()");
+    static const std::regex kindCast(
+        R"(static_cast\s*<\s*SimEventKind\s*>|SimEventKind\s*\(\s*[^)]|\(\s*SimEventKind\s*\))");
+    static const std::regex eventBrace(R"(\bSimEvent\s*\{)");
+    static const std::regex gpuTick(
+        R"(\b(?:\w*[gG]pu\w*)\s*(?:\.|->)\s*tick\s*\(|\bGpu::tick\s*\()");
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &l = lines[i];
+
+        // event-past: schedule(<expr with subtraction>, ...). The
+        // queue asserts at runtime; statically, a '-' in the cycle
+        // argument is the construct that produces past (or unsigned-
+        // wrapped far-future) deadlines.
+        for (auto it =
+                 std::sregex_iterator(l.begin(), l.end(), scheduleCall);
+             it != std::sregex_iterator(); ++it) {
+            const std::size_t open = static_cast<std::size_t>(
+                it->position(0) + it->length(0) - 1);
+            if (hasMinus(firstArg(l, open))) {
+                findings.push_back(Finding{
+                    path, i + 1, Rule::EventPast,
+                    "schedule() cycle argument contains a "
+                    "subtraction: compute deadlines as now + delta "
+                    "(a subtracted Cycle underflows to a far-future "
+                    "wakeup instead of asserting)"});
+            }
+        }
+
+        if (!isQueueHeader) {
+            // event-kind: the kind set is closed and phase-ordered;
+            // minting kinds from integers (or raw SimEvents) outside
+            // the queue header breaks the dense-order replay contract.
+            if (std::regex_search(l, kindCast)) {
+                findings.push_back(Finding{
+                    path, i + 1, Rule::EventKind,
+                    "event kind manufactured outside "
+                    "sim/event_queue.hh: SimEventKind is a closed, "
+                    "phase-ordered set (FrontEnd -> SmxTick -> "
+                    "Maintenance); pass a named kind to schedule()"});
+            }
+            if (std::regex_search(l, eventBrace)) {
+                findings.push_back(Finding{
+                    path, i + 1, Rule::EventKind,
+                    "SimEvent constructed outside sim/event_queue.hh: "
+                    "events enter the heap only via "
+                    "EventQueue::schedule()"});
+            }
+        }
+
+        // event-tick: Gpu::tick() is the dense reference loop's step
+        // function; everyone else must drive the machine through
+        // run()/runWaves() so tick-mode dispatch stays in one place.
+        if (!isGpuCc && std::regex_search(l, gpuTick)) {
+            findings.push_back(Finding{
+                path, i + 1, Rule::EventTick,
+                "direct Gpu::tick() call bypasses runEventLoop and "
+                "the tick-mode contract (DESIGN.md §11); drive the "
+                "machine via Gpu::run()/runWaves()"});
+        }
+    }
+    return findings;
+}
+
+} // namespace simlint
+} // namespace laperm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * sim-lint event-discipline pass (DESIGN.md §12.4): call-site rules
+ * for the event-driven core's EventQueue (src/sim/event_queue.hh).
+ * The queue's runtime asserts catch a past-cycle schedule when the
+ * offending input happens to run; these rules catch the *construct*
+ * statically:
+ *
+ *  - event-past   a schedule() call whose cycle argument contains a
+ *                 subtraction — deadlines must be now + delta, never
+ *                 now - delta (unsigned wrap turns a past cycle into
+ *                 a far-future one and the run silently stalls);
+ *  - event-kind   manufacturing event kinds outside the closed,
+ *                 phase-ordered SimEventKind set: casting an integer
+ *                 to SimEventKind or brace-constructing a SimEvent
+ *                 anywhere but the queue's own header;
+ *  - event-tick   calling Gpu::tick() directly instead of going
+ *                 through Gpu::run/runWaves — bypassing runEventLoop
+ *                 desynchronizes the event heap from machine state
+ *                 (legal only inside gpu.cc, which owns both loops).
+ *
+ * Scope: restricted simulator directories (sim, sched, mem, gpu,
+ * dynpar, obs).
+ */
+
+#ifndef LAPERM_TOOLS_LINT_EVENT_HH
+#define LAPERM_TOOLS_LINT_EVENT_HH
+
+#include <string>
+#include <vector>
+
+#include "tools/sim_lint.hh"
+
+namespace laperm {
+namespace simlint {
+
+/** Event-discipline pass over one translation unit. */
+std::vector<Finding> lintEventDiscipline(const std::string &path,
+                                         const std::string &content);
+
+} // namespace simlint
+} // namespace laperm
+
+#endif // LAPERM_TOOLS_LINT_EVENT_HH

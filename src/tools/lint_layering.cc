@@ -1,0 +1,309 @@
+#include "tools/lint_layering.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace laperm {
+namespace simlint {
+
+bool
+LayerSpec::sameGroup(const std::string &a, const std::string &b) const
+{
+    auto ga = groupOf.find(a);
+    auto gb = groupOf.find(b);
+    return ga != groupOf.end() && gb != groupOf.end() &&
+           ga->second == gb->second;
+}
+
+bool
+LayerSpec::allows(const std::string &from, const std::string &to) const
+{
+    if (from == to || sameGroup(from, to))
+        return true;
+    auto it = deps.find(from);
+    if (it == deps.end())
+        return false;
+    return std::binary_search(it->second.begin(), it->second.end(), to);
+}
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Parse `name = ["a", "b"]` into (name, items). */
+bool
+parseEntry(const std::string &line, std::string &name,
+           std::vector<std::string> &items)
+{
+    static const std::regex entry(
+        R"(^([A-Za-z_][\w-]*)\s*=\s*\[([^\]]*)\]$)");
+    std::smatch m;
+    if (!std::regex_match(line, m, entry))
+        return false;
+    name = m[1].str();
+    items.clear();
+    static const std::regex quoted(R"re("([^"]+)")re");
+    const std::string body = m[2].str();
+    for (auto it = std::sregex_iterator(body.begin(), body.end(), quoted);
+         it != std::sregex_iterator(); ++it) {
+        items.push_back((*it)[1].str());
+    }
+    return true;
+}
+
+/** Node name after group collapsing. */
+std::string
+collapse(const LayerSpec &spec, const std::string &module)
+{
+    auto it = spec.groupOf.find(module);
+    return it == spec.groupOf.end() ? module : "group:" + it->second;
+}
+
+/** DFS cycle detection over the group-collapsed declared graph. */
+bool
+findCycle(const std::map<std::string, std::set<std::string>> &adj,
+          std::string &cycleNode)
+{
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    std::map<std::string, int> state;
+    // Iterative DFS, deterministic order (std::map iteration).
+    for (const auto &kv : adj) {
+        if (state[kv.first] != 0)
+            continue;
+        std::vector<std::pair<std::string, bool>> stack;
+        stack.push_back({kv.first, false});
+        while (!stack.empty()) {
+            auto [node, leaving] = stack.back();
+            stack.pop_back();
+            if (leaving) {
+                state[node] = 2;
+                continue;
+            }
+            if (state[node] == 1)
+                continue;
+            state[node] = 1;
+            stack.push_back({node, true});
+            auto ait = adj.find(node);
+            if (ait == adj.end())
+                continue;
+            for (const auto &next : ait->second) {
+                if (state[next] == 1) {
+                    cycleNode = next;
+                    return true;
+                }
+                if (state[next] == 0)
+                    stack.push_back({next, false});
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+parseLayerSpec(const std::string &text, LayerSpec &spec, std::string &err)
+{
+    spec = LayerSpec{};
+    enum class Section { None, Layers, Groups };
+    Section section = Section::None;
+    std::size_t lineNo = 0;
+    for (const std::string &raw : splitLines(text)) {
+        ++lineNo;
+        std::string line = raw;
+        // strip trailing comment (the spec has no quoted '#')
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line == "[layers]") {
+            section = Section::Layers;
+            continue;
+        }
+        if (line == "[groups]") {
+            section = Section::Groups;
+            continue;
+        }
+        if (line.front() == '[') {
+            err = "layering spec line " + std::to_string(lineNo) +
+                  ": unknown section " + line;
+            return false;
+        }
+        std::string name;
+        std::vector<std::string> items;
+        if (!parseEntry(line, name, items)) {
+            err = "layering spec line " + std::to_string(lineNo) +
+                  ": expected `name = [\"dep\", ...]`, got: " + line;
+            return false;
+        }
+        if (section == Section::Layers) {
+            if (spec.deps.count(name)) {
+                err = "layering spec line " + std::to_string(lineNo) +
+                      ": duplicate module " + name;
+                return false;
+            }
+            std::sort(items.begin(), items.end());
+            spec.deps[name] = items;
+        } else if (section == Section::Groups) {
+            for (const auto &m : items) {
+                if (spec.groupOf.count(m)) {
+                    err = "layering spec line " + std::to_string(lineNo) +
+                          ": module " + m + " in two groups";
+                    return false;
+                }
+                spec.groupOf[m] = name;
+            }
+        } else {
+            err = "layering spec line " + std::to_string(lineNo) +
+                  ": entry outside [layers]/[groups]";
+            return false;
+        }
+    }
+    if (spec.deps.empty()) {
+        err = "layering spec declares no modules";
+        return false;
+    }
+
+    // Validation: deps and groups name declared modules.
+    for (const auto &kv : spec.deps) {
+        for (const auto &d : kv.second) {
+            if (!spec.declared(d)) {
+                err = "layering spec: module " + kv.first +
+                      " depends on undeclared module " + d;
+                return false;
+            }
+        }
+    }
+    for (const auto &kv : spec.groupOf) {
+        if (!spec.declared(kv.first)) {
+            err = "layering spec: group " + kv.second +
+                  " names undeclared module " + kv.first;
+            return false;
+        }
+    }
+
+    // The declared graph, collapsed over groups, must be a DAG.
+    std::map<std::string, std::set<std::string>> adj;
+    for (const auto &kv : spec.deps) {
+        const std::string from = collapse(spec, kv.first);
+        adj[from]; // ensure node exists
+        for (const auto &d : kv.second) {
+            const std::string to = collapse(spec, d);
+            if (from != to)
+                adj[from].insert(to);
+        }
+    }
+    std::string cycleNode;
+    if (findCycle(adj, cycleNode)) {
+        err = "layering spec: declared dependency graph has a cycle "
+              "through " +
+              cycleNode;
+        return false;
+    }
+    return true;
+}
+
+bool
+loadLayerSpec(const std::string &path, LayerSpec &spec, std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot read layering spec " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseLayerSpec(ss.str(), spec, err);
+}
+
+std::string
+moduleOfPath(const std::string &path, const LayerSpec &spec)
+{
+    std::string module;
+    std::string cur;
+    auto consider = [&](const std::string &part) {
+        if (spec.declared(part))
+            module = part; // keep the last declared component
+    };
+    for (char c : path) {
+        if (c == '/' || c == '\\') {
+            if (!cur.empty())
+                consider(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    // The final component is the filename, never a module.
+    return module;
+}
+
+std::vector<Finding>
+lintLayering(const std::string &path, const std::string &content,
+             const LayerSpec &spec)
+{
+    std::vector<Finding> findings;
+    const std::string module = moduleOfPath(path, spec);
+
+    // Files under a src/ tree must belong to a declared module; other
+    // locations (fixtures, tests) are only checked edge-wise.
+    if (module.empty()) {
+        if (path.find("src/") != std::string::npos ||
+            path.find("src\\") != std::string::npos) {
+            findings.push_back(Finding{
+                path, 1, Rule::Layering,
+                "file belongs to no module declared in the layering "
+                "spec; add its directory to layering.toml [layers]"});
+        }
+        return findings;
+    }
+
+    static const std::regex inc(R"(^\s*#\s*include\s*"([^"]+)\")");
+    // stripComments, not the full strip: include paths ARE string
+    // literals and must survive, while a commented-out #include must
+    // not fire.
+    const std::vector<std::string> lines =
+        splitLines(stripComments(content));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(lines[i], m, inc))
+            continue;
+        const std::string target = m[1].str();
+        const std::size_t slash = target.find('/');
+        if (slash == std::string::npos)
+            continue; // generated/relative header, out of scope
+        const std::string targetModule = target.substr(0, slash);
+        if (!spec.declared(targetModule)) {
+            findings.push_back(Finding{
+                path, i + 1, Rule::Layering,
+                "include \"" + target + "\" targets module '" +
+                    targetModule +
+                    "' which the layering spec does not declare"});
+            continue;
+        }
+        if (!spec.allows(module, targetModule)) {
+            findings.push_back(Finding{
+                path, i + 1, Rule::Layering,
+                "include \"" + target + "\" violates the layering "
+                "spec: module '" + module + "' may not depend on '" +
+                    targetModule + "' (layering.toml)"});
+        }
+    }
+    return findings;
+}
+
+} // namespace simlint
+} // namespace laperm

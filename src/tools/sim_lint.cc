@@ -21,8 +21,45 @@ ruleName(Rule rule)
         return "unordered-iter";
     case Rule::FpAccum:
         return "fp-accum";
+    case Rule::Layering:
+        return "layering";
+    case Rule::CycleFloat:
+        return "cycle-float";
+    case Rule::CycleNarrow:
+        return "cycle-narrow";
+    case Rule::CycleSign:
+        return "cycle-sign";
+    case Rule::EventPast:
+        return "event-past";
+    case Rule::EventKind:
+        return "event-kind";
+    case Rule::EventTick:
+        return "event-tick";
+    case Rule::UnusedAllow:
+        return "unused-allow";
+    case Rule::StaleBaseline:
+        return "stale-baseline";
     }
     return "unknown";
+}
+
+bool
+ruleFromName(const std::string &name, Rule &out)
+{
+    static const Rule all[] = {
+        Rule::BannedRng,   Rule::WallClock,  Rule::UnorderedIter,
+        Rule::FpAccum,     Rule::Layering,   Rule::CycleFloat,
+        Rule::CycleNarrow, Rule::CycleSign,  Rule::EventPast,
+        Rule::EventKind,   Rule::EventTick,  Rule::UnusedAllow,
+        Rule::StaleBaseline,
+    };
+    for (Rule r : all) {
+        if (name == ruleName(r)) {
+            out = r;
+            return true;
+        }
+    }
+    return false;
 }
 
 FileScope
@@ -62,12 +99,13 @@ classifyPath(const std::string &path)
 namespace {
 
 /**
- * Strip comments and string/char literals while preserving line
- * structure, so findings keep their original line numbers and a
- * banned token inside a doc comment or log string never fires.
+ * Shared strip state machine. @p keepStrings preserves string/char
+ * literal text (the layering pass needs `#include "mem/cache.hh"`
+ * paths); comments are always blanked. Newlines survive either way so
+ * line numbers are stable.
  */
 std::string
-stripCommentsAndStrings(const std::string &src)
+stripImpl(const std::string &src, bool keepStrings)
 {
     enum class St { Code, LineComment, BlockComment, Str, Chr, RawStr };
     std::string out;
@@ -96,15 +134,19 @@ stripCommentsAndStrings(const std::string &src)
                 std::size_t j = i + 2;
                 while (j < src.size() && src[j] != '(')
                     rawDelim += src[j++];
-                out += ' ';
-                out.append(j - i, ' ');
+                if (keepStrings) {
+                    out.append(src, i, j - i + 1);
+                } else {
+                    out += ' ';
+                    out.append(j - i, ' ');
+                }
                 i = j; // now at '('
             } else if (c == '"') {
                 st = St::Str;
-                out += ' ';
+                out += keepStrings ? '"' : ' ';
             } else if (c == '\'') {
                 st = St::Chr;
-                out += ' ';
+                out += keepStrings ? '\'' : ' ';
             } else {
                 out += c;
             }
@@ -128,22 +170,36 @@ stripCommentsAndStrings(const std::string &src)
             break;
         case St::Str:
             if (c == '\\' && next != '\0') {
-                out += "  ";
+                if (keepStrings) {
+                    out += c;
+                    out += next;
+                } else {
+                    out += "  ";
+                }
                 ++i;
             } else if (c == '"') {
                 st = St::Code;
-                out += ' ';
+                out += keepStrings ? '"' : ' ';
+            } else if (keepStrings) {
+                out += c;
             } else {
                 out += c == '\n' ? '\n' : ' ';
             }
             break;
         case St::Chr:
             if (c == '\\' && next != '\0') {
-                out += "  ";
+                if (keepStrings) {
+                    out += c;
+                    out += next;
+                } else {
+                    out += "  ";
+                }
                 ++i;
             } else if (c == '\'') {
                 st = St::Code;
-                out += ' ';
+                out += keepStrings ? '\'' : ' ';
+            } else if (keepStrings) {
+                out += c;
             } else {
                 out += ' ';
             }
@@ -152,8 +208,13 @@ stripCommentsAndStrings(const std::string &src)
             const std::string close = ")" + rawDelim + "\"";
             if (src.compare(i, close.size(), close) == 0) {
                 st = St::Code;
-                out.append(close.size(), ' ');
+                if (keepStrings)
+                    out += close;
+                else
+                    out.append(close.size(), ' ');
                 i += close.size() - 1;
+            } else if (keepStrings) {
+                out += c;
             } else {
                 out += c == '\n' ? '\n' : ' ';
             }
@@ -162,6 +223,20 @@ stripCommentsAndStrings(const std::string &src)
         }
     }
     return out;
+}
+
+} // namespace
+
+std::string
+stripCommentsAndStrings(const std::string &src)
+{
+    return stripImpl(src, false);
+}
+
+std::string
+stripComments(const std::string &src)
+{
+    return stripImpl(src, true);
 }
 
 std::vector<std::string>
@@ -181,33 +256,59 @@ splitLines(const std::string &s)
     return lines;
 }
 
-bool
-fileAllows(const std::vector<std::string> &rawLines, Rule rule)
+std::vector<Allow>
+collectAllows(const std::vector<std::string> &rawLines)
 {
-    const std::string marker =
-        std::string("sim-lint: allow-file(") + ruleName(rule) + ")";
-    for (const auto &l : rawLines) {
-        if (l.find(marker) != std::string::npos)
-            return true;
-    }
-    return false;
-}
-
-bool
-lineAllows(const std::vector<std::string> &rawLines, std::size_t line,
-           Rule rule)
-{
-    const std::string marker =
-        std::string("sim-lint: allow(") + ruleName(rule) + ")";
-    // line is 1-based; check the flagged line and the one above it.
-    for (std::size_t i = line > 1 ? line - 2 : 0; i < line; ++i) {
-        if (i < rawLines.size() &&
-            rawLines[i].find(marker) != std::string::npos) {
-            return true;
+    std::vector<Allow> allows;
+    static const std::regex marker(
+        R"(sim-lint:\s*(allow|allow-file)\(([a-z-]+)\))");
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        const std::string &l = rawLines[i];
+        for (auto it = std::sregex_iterator(l.begin(), l.end(), marker);
+             it != std::sregex_iterator(); ++it) {
+            Rule rule;
+            if (!ruleFromName((*it)[2].str(), rule))
+                continue; // unknown rule names never suppress
+            allows.push_back(
+                Allow{i + 1, rule, (*it)[1].str() == "allow-file", false});
         }
     }
-    return false;
+    return allows;
 }
+
+std::vector<Finding>
+applySuppressions(std::vector<Finding> findings, std::vector<Allow> &allows)
+{
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (const Finding &f : findings) {
+        // Audit rules cannot be waived: a waiver must not be able to
+        // waive the check that audits waivers.
+        bool suppressed = false;
+        if (f.rule != Rule::UnusedAllow && f.rule != Rule::StaleBaseline) {
+            for (Allow &a : allows) {
+                if (a.rule != f.rule)
+                    continue;
+                const bool covers =
+                    a.fileWide ||
+                    a.line == f.line ||
+                    a.line + 1 == f.line;
+                if (covers) {
+                    a.used = true;
+                    suppressed = true;
+                    // keep scanning: every marker covering this
+                    // finding counts as used (no false unused-allow
+                    // when two markers overlap).
+                }
+            }
+        }
+        if (!suppressed)
+            kept.push_back(f);
+    }
+    return kept;
+}
+
+namespace {
 
 struct Pattern
 {
@@ -286,19 +387,14 @@ known(const std::vector<std::string> &names, const std::string &n)
 } // namespace
 
 std::vector<Finding>
-lintSource(const std::string &path, const std::string &content)
+scanTokenRules(const std::string &path, const std::string &content)
 {
     const FileScope scope = classifyPath(path);
-    const std::vector<std::string> rawLines = splitLines(content);
     const std::vector<std::string> lines =
         splitLines(stripCommentsAndStrings(content));
 
     std::vector<Finding> findings;
     auto flag = [&](std::size_t line1, Rule rule, const char *what) {
-        if (fileAllows(rawLines, rule) ||
-            lineAllows(rawLines, line1, rule)) {
-            return;
-        }
         findings.push_back(Finding{path, line1, rule, what});
     };
 
@@ -374,7 +470,7 @@ lintSource(const std::string &path, const std::string &content)
                     flag(i + 1, Rule::FpAccum,
                          "floating-point accumulation is "
                          "non-associative; document the iteration "
-                         "order with a sim-lint: allow(fp-accum) "
+                         "order with an allow(fp-accum) waiver "
                          "comment stating why it is deterministic");
                 }
             }
@@ -382,6 +478,13 @@ lintSource(const std::string &path, const std::string &content)
     }
 
     return findings;
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content)
+{
+    std::vector<Allow> allows = collectAllows(splitLines(content));
+    return applySuppressions(scanTokenRules(path, content), allows);
 }
 
 bool
@@ -397,8 +500,8 @@ lintFile(const std::string &path, std::vector<Finding> &out)
     return true;
 }
 
-std::size_t
-lintTree(const std::string &root, std::vector<Finding> &out)
+std::vector<std::string>
+listSources(const std::string &root)
 {
     namespace fs = std::filesystem;
     std::vector<std::string> paths;
@@ -414,8 +517,14 @@ lintTree(const std::string &root, std::vector<Finding> &out)
     // directory_iterator order is unspecified — the linter holds
     // itself to the determinism bar it enforces.
     std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+std::size_t
+lintTree(const std::string &root, std::vector<Finding> &out)
+{
     std::size_t scanned = 0;
-    for (const auto &p : paths) {
+    for (const auto &p : listSources(root)) {
         if (lintFile(p, out))
             ++scanned;
     }

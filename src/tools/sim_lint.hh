@@ -30,10 +30,30 @@
  * harness and bench code legitimately measures wall time. banned-rng
  * applies everywhere except common/rng.{hh,cc} itself.
  *
+ * v2 grows the four token rules into a multi-pass analyzer
+ * (DESIGN.md §12):
+ *
+ *  - layering       include-graph pass enforcing the declared module
+ *                   DAG in layering.toml (lint_layering.hh)
+ *  - cycle-float /  cycle-safety pass keeping integer-cycle timing
+ *    cycle-narrow /  integer end-to-end (lint_cycle.hh)
+ *    cycle-sign
+ *  - event-past /   event-discipline pass for EventQueue call sites
+ *    event-kind /    (lint_event.hh)
+ *    event-tick
+ *  - unused-allow   suppression audit: an allow() marker that no
+ *                   longer suppresses anything is itself a finding
+ *  - stale-baseline a baseline entry that matches no current finding
+ *
+ * The passes are orchestrated by lint_driver.hh, which also applies
+ * the committed baseline (sim_lint_baseline.tsv) and emits SARIF.
+ *
  * Suppression: a finding on line N is suppressed if line N or N-1
  * contains "sim-lint: allow(<rule>)" — always with a reason in the
  * surrounding comment. "sim-lint: allow-file(<rule>)" anywhere in the
- * file disables the rule for the whole file.
+ * file disables the rule for the whole file. The audit rules
+ * (unused-allow, stale-baseline) are not suppressible: waivers must
+ * not be able to waive the waiver check.
  */
 
 #ifndef LAPERM_TOOLS_SIM_LINT_HH
@@ -45,10 +65,33 @@
 namespace laperm {
 namespace simlint {
 
-enum class Rule { BannedRng, WallClock, UnorderedIter, FpAccum };
+enum class Rule
+{
+    // token pass (v1)
+    BannedRng,
+    WallClock,
+    UnorderedIter,
+    FpAccum,
+    // layering pass
+    Layering,
+    // cycle-safety pass
+    CycleFloat,
+    CycleNarrow,
+    CycleSign,
+    // event-discipline pass
+    EventPast,
+    EventKind,
+    EventTick,
+    // audit rules (never suppressible)
+    UnusedAllow,
+    StaleBaseline,
+};
 
 /** Stable kebab-case name used in reports and allow() comments. */
 const char *ruleName(Rule rule);
+
+/** Parse a kebab-case rule name. Returns false if unknown. */
+bool ruleFromName(const std::string &name, Rule &out);
 
 struct Finding
 {
@@ -56,6 +99,15 @@ struct Finding
     std::size_t line = 0; ///< 1-based
     Rule rule = Rule::BannedRng;
     std::string message;
+};
+
+/** A "sim-lint: allow(...)" / "allow-file(...)" marker in a file. */
+struct Allow
+{
+    std::size_t line = 0; ///< 1-based line the marker sits on
+    Rule rule = Rule::BannedRng;
+    bool fileWide = false; ///< allow-file(...) form
+    bool used = false;     ///< set once it suppresses a finding
 };
 
 /** How a file's path scopes the rule set. */
@@ -69,7 +121,45 @@ struct FileScope
 FileScope classifyPath(const std::string &path);
 
 /**
- * Lint one translation unit given its contents. Comments, string and
+ * Strip comments and string/char literals while preserving line
+ * structure (findings keep their line numbers; a banned token inside a
+ * doc comment or log string never fires). Shared by every pass.
+ */
+std::string stripCommentsAndStrings(const std::string &src);
+
+/**
+ * Strip comments only, preserving string/char literals and line
+ * structure. The layering pass needs this: `#include "mem/cache.hh"`
+ * paths are string literals and would vanish under the full strip.
+ */
+std::string stripComments(const std::string &src);
+
+/** Split @p s on '\n' (a trailing fragment counts as a line). */
+std::vector<std::string> splitLines(const std::string &s);
+
+/** Collect every allow()/allow-file() marker from raw source lines. */
+std::vector<Allow> collectAllows(const std::vector<std::string> &rawLines);
+
+/**
+ * Token-rule pass *without* suppression: every raw finding, including
+ * ones an allow() marker covers. The driver applies suppression so it
+ * can audit which markers actually fire.
+ */
+std::vector<Finding> scanTokenRules(const std::string &path,
+                                    const std::string &content);
+
+/**
+ * Drop findings covered by an allow marker (same rule; file-wide, or
+ * on the finding's line or the line above). Consumed markers get
+ * used=true — the input to the unused-suppression audit. Audit rules
+ * are never suppressed.
+ */
+std::vector<Finding> applySuppressions(std::vector<Finding> findings,
+                                       std::vector<Allow> &allows);
+
+/**
+ * Lint one translation unit given its contents (token rules only,
+ * suppressions applied — the v1 behaviour). Comments, string and
  * character literals are stripped before pattern matching (a mention of
  * mt19937 in a doc comment is not a violation), but allow() markers are
  * honoured from the raw text.
@@ -79,6 +169,12 @@ std::vector<Finding> lintSource(const std::string &path,
 
 /** Lint a file on disk. Returns false if it cannot be read. */
 bool lintFile(const std::string &path, std::vector<Finding> &out);
+
+/**
+ * Sorted list of every .hh/.cc/.hpp/.cpp under @p root (deterministic
+ * scan order — the linter holds itself to the bar it enforces).
+ */
+std::vector<std::string> listSources(const std::string &root);
 
 /**
  * Recursively lint every .hh/.cc under @p root in sorted path order

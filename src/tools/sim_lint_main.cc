@@ -1,70 +1,171 @@
 /**
  * @file
- * sim-lint CLI. Usage:
+ * sim-lint CLI (DESIGN.md §12). Usage:
  *
- *   sim_lint [--root <dir>] [file...]
+ *   sim_lint [--root <dir>] [--layering <spec>] [--baseline <file>]
+ *            [--write-baseline <file>] [--sarif <file>] [--diff <ref>]
+ *            [--timings] [--no-audit] [file...]
  *
- * With explicit files, lints exactly those. Otherwise scans every
- * .hh/.cc under <root>/src (default root "."). Exit status: 0 when
- * clean, 1 when findings were reported, 2 on usage/IO errors.
- * Invoked by scripts/lint.sh and the verify pipeline.
+ * With explicit files, lints exactly those. With --diff <ref>, lints
+ * the sources under src/ that changed relative to the git ref.
+ * Otherwise scans every .hh/.cc under <root>/src (default root ".").
+ *
+ * The layering spec defaults to <root>/layering.toml and the baseline
+ * to <root>/sim_lint_baseline.tsv when those files exist; pass an
+ * explicit path (or a nonexistent one) to override.
+ *
+ * Exit status: 0 when clean, 1 when findings were reported, 2 on
+ * usage/configuration/IO errors. Invoked by scripts/lint.sh, the
+ * verify pipeline, and the sim_lint_repo ctest gate.
  */
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "tools/lint_driver.hh"
 #include "tools/sim_lint.hh"
+
+namespace {
+
+/**
+ * Sources under src/ changed relative to @p ref, via git. Deleted
+ * files are excluded (--diff-filter=d); non-source files and paths
+ * outside src/ are dropped. Returns false when git itself fails.
+ */
+bool
+changedSources(const std::string &root, const std::string &ref,
+               std::vector<std::string> &out)
+{
+    const std::string cmd = "git -C '" + root +
+                            "' diff --name-only --diff-filter=d '" +
+                            ref + "' -- src 2>/dev/null";
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe)
+        return false;
+    std::string line;
+    int c;
+    while ((c = std::fgetc(pipe)) != EOF) {
+        if (c == '\n') {
+            if (!line.empty()) {
+                const bool src =
+                    line.size() > 3 &&
+                    (line.compare(line.size() - 3, 3, ".hh") == 0 ||
+                     line.compare(line.size() - 3, 3, ".cc") == 0 ||
+                     (line.size() > 4 &&
+                      (line.compare(line.size() - 4, 4, ".hpp") == 0 ||
+                       line.compare(line.size() - 4, 4, ".cpp") == 0)));
+                if (src)
+                    out.push_back(root + "/" + line);
+            }
+            line.clear();
+        } else {
+            line += static_cast<char>(c);
+        }
+    }
+    return ::pclose(pipe) == 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace laperm::simlint;
 
-    std::string root = ".";
-    std::vector<std::string> files;
+    DriverOptions opts;
+    std::string diffRef;
+    bool timings = false;
+
+    auto need = [&](int i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "sim-lint: %s needs a value\n", flag);
+            std::exit(2);
+        }
+        return argv[i + 1];
+    };
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--root") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "sim-lint: --root needs a value\n");
-                return 2;
-            }
-            root = argv[++i];
+            opts.root = need(i++, "--root");
+        } else if (arg == "--layering") {
+            opts.layeringSpec = need(i++, "--layering");
+        } else if (arg == "--baseline") {
+            opts.baselinePath = need(i++, "--baseline");
+        } else if (arg == "--write-baseline") {
+            opts.writeBaselinePath = need(i++, "--write-baseline");
+        } else if (arg == "--sarif") {
+            opts.sarifPath = need(i++, "--sarif");
+        } else if (arg == "--diff") {
+            diffRef = need(i++, "--diff");
+        } else if (arg == "--timings") {
+            timings = true;
+        } else if (arg == "--no-audit") {
+            opts.audit = false;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: sim_lint [--root <dir>] [file...]\n");
+            std::printf(
+                "usage: sim_lint [--root <dir>] [--layering <spec>]\n"
+                "                [--baseline <file>] "
+                "[--write-baseline <file>]\n"
+                "                [--sarif <file>] [--diff <ref>] "
+                "[--timings]\n"
+                "                [--no-audit] [file...]\n");
             return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "sim-lint: unknown flag %s\n",
+                         arg.c_str());
+            return 2;
         } else {
-            files.push_back(arg);
+            opts.files.push_back(arg);
         }
     }
 
-    std::vector<Finding> findings;
-    std::size_t scanned = 0;
-    if (files.empty()) {
-        scanned = lintTree(root + "/src", findings);
-        if (scanned == 0) {
+    if (!diffRef.empty()) {
+        if (!opts.files.empty()) {
             std::fprintf(stderr,
-                         "sim-lint: no sources found under %s/src\n",
-                         root.c_str());
+                         "sim-lint: --diff and explicit files are "
+                         "mutually exclusive\n");
             return 2;
         }
-    } else {
-        for (const auto &f : files) {
-            if (!lintFile(f, findings)) {
-                std::fprintf(stderr, "sim-lint: cannot read %s\n",
-                             f.c_str());
-                return 2;
-            }
-            ++scanned;
+        if (!changedSources(opts.root, diffRef, opts.files)) {
+            std::fprintf(stderr, "sim-lint: git diff against '%s' failed\n",
+                         diffRef.c_str());
+            return 2;
+        }
+        if (opts.files.empty()) {
+            std::printf("sim-lint: no sources changed vs %s\n",
+                        diffRef.c_str());
+            return 0;
         }
     }
 
-    for (const auto &f : findings) {
+    const DriverResult result = runDriver(opts);
+    if (!result.error.empty()) {
+        std::fprintf(stderr, "sim-lint: %s\n", result.error.c_str());
+        return 2;
+    }
+
+    for (const auto &f : result.findings) {
         std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
                      ruleName(f.rule), f.message.c_str());
     }
-    std::printf("sim-lint: %zu files scanned, %zu finding%s\n", scanned,
-                findings.size(), findings.size() == 1 ? "" : "s");
-    return findings.empty() ? 0 : 1;
+    if (timings) {
+        for (const auto &t : result.timings) {
+            std::fprintf(stderr,
+                         "sim-lint: pass %-16s %8llu us  %zu raw "
+                         "finding%s\n",
+                         t.pass.c_str(),
+                         static_cast<unsigned long long>(t.micros),
+                         t.findings, t.findings == 1 ? "" : "s");
+        }
+    }
+    if (!opts.writeBaselinePath.empty()) {
+        std::printf("sim-lint: baseline written to %s\n",
+                    opts.writeBaselinePath.c_str());
+    }
+    std::printf("sim-lint: %zu files scanned, %zu finding%s\n",
+                result.filesScanned, result.findings.size(),
+                result.findings.size() == 1 ? "" : "s");
+    return result.findings.empty() ? 0 : 1;
 }

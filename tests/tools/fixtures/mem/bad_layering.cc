@@ -1,0 +1,13 @@
+// sim-lint fixture: a mem/ translation unit reaching UP the stack —
+// into the observability and harness layers — must be flagged by the
+// layering pass. Not compiled — parsed by test_sim_lint_v2.cc.
+#include "common/log.hh"      // declared edge: legal
+#include "sim/config.hh"      // declared edge: legal
+#include "obs/locality.hh"    // mem -> obs: collectors sit ABOVE the engine
+#include "harness/table.hh"   // mem -> harness: inverted dependency
+#include "nosuchmod/foo.hh"   // undeclared target module
+
+void
+touch()
+{
+}

@@ -1,0 +1,15 @@
+// sim-lint fixture: mem/ including only its declared dependencies
+// (common, sim), system headers, and path-free generated headers must
+// pass the layering pass clean. Not compiled — parsed by
+// test_sim_lint_v2.cc.
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/config.hh"
+#include "mem/dram.hh"          // self edge: always legal
+#include "sim_fingerprint.hh"   // no path component: generated, exempt
+
+void
+touch2()
+{
+}

@@ -1,0 +1,23 @@
+// sim-lint fixture: event-discipline violations — a schedule() call
+// computing a past cycle via subtraction, an event kind minted from an
+// integer, and a direct Gpu::tick() bypassing the event loop. Not
+// compiled — parsed by test_sim_lint_v2.cc.
+
+using Cycle = unsigned long long;
+enum class SimEventKind { FrontEnd, SmxTick, Maintenance };
+struct Queue
+{
+    void schedule(Cycle c, SimEventKind k);
+};
+struct Gpu
+{
+    void tick();
+};
+
+void
+bad(Queue &q, Gpu *gpu, Cycle now, int raw)
+{
+    q.schedule(now - 5, SimEventKind::SmxTick);       // event-past
+    q.schedule(now, static_cast<SimEventKind>(raw));  // event-kind
+    gpu->tick();                                      // event-tick
+}

@@ -1,0 +1,21 @@
+// sim-lint fixture: disciplined event-queue usage — deadlines are
+// now + delta, kinds are named enumerators, iterator arrows and
+// decrements are not subtraction. Not compiled — parsed by
+// test_sim_lint_v2.cc.
+#include <map>
+
+using Cycle = unsigned long long;
+enum class SimEventKind { FrontEnd, SmxTick, Maintenance };
+struct Queue
+{
+    void schedule(Cycle c, SimEventKind k);
+};
+
+void
+good(Queue &q, std::map<Cycle, int> &pending, Cycle now, Cycle delta)
+{
+    q.schedule(now + delta, SimEventKind::SmxTick);
+    q.schedule(pending.begin()->first, SimEventKind::FrontEnd);
+    for (int i = 3; i > 0; --i)
+        q.schedule(now + static_cast<Cycle>(i), SimEventKind::Maintenance);
+}

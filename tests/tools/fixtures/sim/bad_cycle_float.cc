@@ -1,0 +1,31 @@
+// sim-lint fixture: floating-point, narrowing, and signed arithmetic
+// on cycle-typed quantities in simulator code must be flagged by the
+// cycle-safety pass. Not compiled — parsed by test_sim_lint_v2.cc.
+
+using Cycle = unsigned long long;
+
+double
+badIpc(Cycle cycles)
+{
+    return static_cast<double>(cycles); // cycle-float: cast
+}
+
+double
+badAverage(Cycle readyAt)
+{
+    double avg = readyAt / 2.0; // cycle-float: fp init + fp literal
+    return avg;
+}
+
+unsigned
+badNarrow(Cycle deadline)
+{
+    return static_cast<unsigned>(deadline); // cycle-narrow
+}
+
+long
+badSign(Cycle now)
+{
+    long delta = 5;
+    return now + delta ? static_cast<long>(now) : 0; // cycle-sign
+}

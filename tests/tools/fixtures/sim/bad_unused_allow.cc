@@ -1,0 +1,11 @@
+// sim-lint fixture: an allow() marker that suppresses nothing is a
+// rotted waiver and must be flagged by the suppression audit. Not
+// compiled — parsed by test_sim_lint_v2.cc.
+
+// This file contains no RNG call, so the waiver below is dead.
+// sim-lint: allow(banned-rng)
+unsigned
+pureCounter(unsigned x)
+{
+    return x + 1;
+}

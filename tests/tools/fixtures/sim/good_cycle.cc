@@ -1,0 +1,25 @@
+// sim-lint fixture: integer cycle arithmetic, and member access on
+// cycle-named objects (bankFreeAt_.size() is a count, cycles.end() an
+// iterator), must NOT trigger the cycle-safety pass. Not compiled —
+// parsed by test_sim_lint_v2.cc.
+#include <vector>
+
+using Cycle = unsigned long long;
+
+struct Banks
+{
+    std::vector<Cycle> bankFreeAt_;
+
+    Cycle next(Cycle now, Cycle delta)
+    {
+        const Cycle deadline = now + delta; // integer: legal
+        return deadline % bankFreeAt_.size(); // member access: a count
+    }
+
+    bool done(const std::vector<Cycle> &cycles, Cycle now) const
+    {
+        // cycles.end() is an iterator, not a cycle quantity.
+        return cycles.empty() || cycles.back() <= now ||
+               cycles.begin() == cycles.end();
+    }
+};
