@@ -20,6 +20,12 @@
 # src/tools/sim_lint.cc) must be documented in DESIGN.md, every rule
 # name the docs cite must exist, and `sim_lint` joins the CLI binaries
 # whose documented flags are checked against their sources.
+#
+# Preset rules: every hardware preset in the registry (the kPresets
+# table in src/sim/presets.cc, one entry per line) must be documented
+# (backticked) in both README.md and DESIGN.md, and every `--preset X`
+# example anywhere in the docs must name a real preset — same
+# two-direction pattern as the sim-lint rule<->doc check.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -182,6 +188,25 @@ for r in $doc_rules; do
     fi
 done
 
+# --- Hardware presets: registry <-> docs, both directions --------------
+presets=$(grep -oE '^\s*\{"[a-z0-9]+",' src/sim/presets.cc |
+    grep -oE '"[a-z0-9]+"' | tr -d '"' | sort -u)
+[ -n "$presets" ] || err "could not extract preset names from presets.cc"
+for p in $presets; do
+    for d in README.md DESIGN.md; do
+        if ! grep -q "\`$p\`" "$d"; then
+            err "preset '$p' is not documented (backticked) in $d"
+        fi
+    done
+done
+doc_presets=$(grep -ohE '\-\-preset[= ][a-z0-9]+' $all_docs |
+    sed -E 's/--preset[= ]//' | sort -u)
+for p in $doc_presets; do
+    if ! grep -qx "$p" <<<"$presets"; then
+        err "docs reference unknown preset '$p' after --preset"
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "docs-check: FAILED" >&2
     exit 1
@@ -190,4 +215,5 @@ echo "docs-check: OK ($(echo "$bench_targets" | wc -l) bench targets, \
 $(echo "$example_targets" | wc -l) examples, \
 $(echo "$verbs" | wc -l) protocol verbs, \
 $(echo "$doc_flags" | grep -c -- --) documented flags, \
-$(echo "$lint_rules" | wc -l) sim-lint rules checked)"
+$(echo "$lint_rules" | wc -l) sim-lint rules, \
+$(echo "$presets" | wc -l) presets checked)"

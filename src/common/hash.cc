@@ -1,0 +1,30 @@
+#include "common/hash.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+
+std::uint64_t
+fnv1a64(const std::string &data, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (const char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+contentKey(const std::string &canonical)
+{
+    // Two independent FNV-1a passes give a 128-bit key; plenty for a
+    // cache namespace where collisions only cost a wrong cache hit on
+    // adversarial input, and the canonical strings are machine-built.
+    const std::uint64_t a = fnv1a64(canonical, 0xcbf29ce484222325ull);
+    const std::uint64_t b = fnv1a64(canonical, 0x9ae16a3b2f90404full);
+    return logFormat("%016llx%016llx", static_cast<unsigned long long>(a),
+                     static_cast<unsigned long long>(b));
+}
+
+} // namespace laperm

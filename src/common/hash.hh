@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Deterministic content hashing shared by the result cache
+ * (harness/result_cache.hh) and the config subsystem
+ * (sim/config_loader.hh). Lives in common/ so the simulator layer can
+ * hash canonical config strings without reaching up into harness code.
+ */
+
+#ifndef LAPERM_COMMON_HASH_HH
+#define LAPERM_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace laperm {
+
+/** 64-bit FNV-1a over @p data starting from @p seed. */
+std::uint64_t fnv1a64(const std::string &data, std::uint64_t seed);
+
+/** 128-bit hex content key of a canonical request/config string. */
+std::string contentKey(const std::string &canonical);
+
+} // namespace laperm
+
+#endif // LAPERM_COMMON_HASH_HH

@@ -100,7 +100,7 @@ Gpu::tick()
     // turn some merges into misses.
     if (cycle_ >= nextMshrTrimAt_) {
         mem_.trimMshrs(cycle_);
-        nextMshrTrimAt_ = cycle_ + kMshrTrimInterval;
+        nextMshrTrimAt_ = cycle_ + cfg_.mshrTrimInterval;
     }
 
     if (progress) {
@@ -241,7 +241,7 @@ Gpu::runEventLoop(Cycle max_cycles)
             // is invisible to the timing model; because it is, the
             // exact trim cycles may differ between modes.
             mem_.trimMshrs(t);
-            nextMshrTrimAt_ = t + kMshrTrimInterval;
+            nextMshrTrimAt_ = t + cfg_.mshrTrimInterval;
             armMaintenance(nextMshrTrimAt_);
         }
 

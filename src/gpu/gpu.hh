@@ -132,7 +132,6 @@ class Gpu : public SmxCallbacks, public DispatchContext
     std::vector<bool> smxActive_;
 
     /** Amortized MSHR garbage collection (see tick()). */
-    static constexpr Cycle kMshrTrimInterval = 4096;
     Cycle nextMshrTrimAt_ = 0;
 
     /**

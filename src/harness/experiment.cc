@@ -11,6 +11,8 @@
 #include "harness/thread_pool.hh"
 #include "obs/locality.hh"
 #include "obs/trace_collector.hh"
+#include "sim/config_loader.hh"
+#include "sim/presets.hh"
 #include "workloads/registry.hh"
 
 namespace laperm {
@@ -90,7 +92,8 @@ runOneRecord(const Workload &workload, const GpuConfig &cfg,
         locality->writeTsv(base + ".locality.tsv");
     }
     return ResultRecord::fromStats(workload.fullName(), cfg.dynParModel,
-                                   cfg.tbPolicy, gpu.stats());
+                                   cfg.tbPolicy, gpu.stats(),
+                                   machineHash(cfg));
 }
 
 RunResult
@@ -107,7 +110,7 @@ constexpr TbPolicy kPolicies[] = {TbPolicy::RR, TbPolicy::TbPri,
 constexpr DynParModel kModels[] = {DynParModel::CDP, DynParModel::DTBL};
 
 bool
-loadCache(const std::string &path,
+loadCache(const std::string &path, const std::string &preset,
           const std::vector<std::string> &names,
           std::vector<RunResult> &out)
 {
@@ -120,6 +123,13 @@ loadCache(const std::string &path,
     std::vector<RunResult> rows;
     if (!decodeSweepTsv(payload, rows))
         return false;
+    // A cached row must belong to the requested preset (legacy-format
+    // rows decode with the "k20c" default, which is exactly right for
+    // the legacy cache file they live in).
+    for (const auto &r : rows) {
+        if (r.preset != preset)
+            return false;
+    }
     // The cache is usable only if it covers the full request.
     for (const auto &name : names) {
         for (DynParModel m : kModels) {
@@ -158,9 +168,29 @@ sweepCachePath(Scale scale, std::uint64_t seed)
                      static_cast<unsigned long long>(seed));
 }
 
+std::string
+sweepCachePath(const std::string &preset, Scale scale,
+               std::uint64_t seed)
+{
+    if (preset == "k20c")
+        return sweepCachePath(scale, seed);
+    return logFormat("%s/laperm_results_%s_%s_%llu.tsv",
+                     cacheRootDir().c_str(), preset.c_str(),
+                     toString(scale),
+                     static_cast<unsigned long long>(seed));
+}
+
 std::vector<RunResult>
 runMatrix(const std::vector<std::string> &names, Scale scale,
           std::uint64_t seed, bool use_cache, unsigned jobs)
+{
+    return runMatrixPreset(names, "k20c", scale, seed, use_cache, jobs);
+}
+
+std::vector<RunResult>
+runMatrixPreset(const std::vector<std::string> &names,
+                const std::string &preset, Scale scale,
+                std::uint64_t seed, bool use_cache, unsigned jobs)
 {
     const char *no_cache = std::getenv("LAPERM_NO_CACHE");
     if (no_cache && *no_cache == '1')
@@ -168,9 +198,15 @@ runMatrix(const std::vector<std::string> &names, Scale scale,
     if (jobs == 0)
         jobs = ThreadPool::defaultJobs();
 
-    const std::string path = sweepCachePath(scale, seed);
+    // Fatal on an unknown preset before any simulation spends cycles;
+    // the machine geometry below is presetConfig(preset) with the
+    // harness-level tick-mode override layered on top (paperConfig()
+    // handles LAPERM_TICK_MODE; the preset must not undo it).
+    const GpuConfig base_machine = presetConfig(preset);
+
+    const std::string path = sweepCachePath(preset, scale, seed);
     std::vector<RunResult> results;
-    if (use_cache && loadCache(path, names, results))
+    if (use_cache && loadCache(path, preset, names, results))
         return results;
     results.clear();
 
@@ -210,11 +246,13 @@ runMatrix(const std::vector<std::string> &names, Scale scale,
                     const std::size_t slot =
                         i * cellsPerWorkload + mi * kNumPolicies + pi;
                     pool.submit([&, i, mi, pi, slot] {
-                        GpuConfig cfg = paperConfig();
+                        GpuConfig cfg = base_machine;
+                        cfg.tickMode = paperConfig().tickMode;
                         cfg.dynParModel = kModels[mi];
                         cfg.tbPolicy = kPolicies[pi];
                         cfg.seed = seed;
                         results[slot] = runOne(*workloads[i], cfg);
+                        results[slot].preset = preset;
                         laperm_inform(
                             "%s %s/%s: ipc=%.2f l1=%.3f l2=%.3f",
                             names[i].c_str(), toString(kModels[mi]),

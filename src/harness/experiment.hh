@@ -28,6 +28,8 @@ struct RunResult
     std::string workload;
     DynParModel model = DynParModel::CDP;
     TbPolicy policy = TbPolicy::RR;
+    /** Hardware preset the cell ran on (sim/presets.hh). */
+    std::string preset = "k20c";
 
     double ipc = 0.0;
     double l1HitRate = 0.0;
@@ -77,12 +79,32 @@ std::vector<RunResult> runMatrix(const std::vector<std::string> &names,
                                  unsigned jobs = 0);
 
 /**
+ * runMatrix on a named hardware preset (sim/presets.hh): the preset is
+ * a fourth sweep axis with its own TSV cache cell per (preset, scale,
+ * seed). "k20c" is exactly runMatrix — same cache file, same bytes.
+ * The cross-generation study (EXPERIMENTS.md) drives this per preset.
+ */
+std::vector<RunResult> runMatrixPreset(
+    const std::vector<std::string> &names, const std::string &preset,
+    Scale scale, std::uint64_t seed, bool use_cache = true,
+    unsigned jobs = 0);
+
+/**
  * Path of the TSV sweep cache runMatrix reads/writes for this
  * (scale, seed): "$LAPERM_CACHE_DIR/laperm_results_<scale>_<seed>.tsv",
  * default cache dir "cache". Exposed so tests and benches address the
  * cache without duplicating the layout.
  */
 std::string sweepCachePath(Scale scale, std::uint64_t seed);
+
+/**
+ * Per-preset sweep cache path. The "k20c" preset maps to the legacy
+ * sweepCachePath(scale, seed) file; other presets get
+ * "laperm_results_<preset>_<scale>_<seed>.tsv" so preset sweeps never
+ * collide with (or invalidate) the default matrix.
+ */
+std::string sweepCachePath(const std::string &preset, Scale scale,
+                           std::uint64_t seed);
 
 /** Find a result in a sweep; fatal if missing. */
 const RunResult &findResult(const std::vector<RunResult> &results,

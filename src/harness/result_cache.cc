@@ -8,6 +8,7 @@
 
 #include "common/log.hh"
 #include "harness/experiment.hh"
+#include "sim/config_loader.hh"
 
 #include "sim_fingerprint.hh"
 
@@ -35,35 +36,14 @@ cacheRootDir()
     return dir && *dir ? dir : "cache";
 }
 
-std::uint64_t
-fnv1a64(const std::string &data, std::uint64_t seed)
-{
-    std::uint64_t h = seed;
-    for (const char c : data) {
-        h ^= static_cast<std::uint8_t>(c);
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-std::string
-contentKey(const std::string &canonical)
-{
-    // Two independent FNV-1a passes give a 128-bit key; plenty for a
-    // cache namespace where collisions only cost a wrong cache hit on
-    // adversarial input, and the canonical strings are machine-built.
-    const std::uint64_t a = fnv1a64(canonical, 0xcbf29ce484222325ull);
-    const std::uint64_t b = fnv1a64(canonical, 0x9ae16a3b2f90404full);
-    return logFormat("%016llx%016llx", static_cast<unsigned long long>(a),
-                     static_cast<unsigned long long>(b));
-}
-
 ResultRecord
 ResultRecord::fromStats(const std::string &workload, DynParModel model,
-                        TbPolicy policy, const GpuStats &stats)
+                        TbPolicy policy, const GpuStats &stats,
+                        const std::string &config_hash)
 {
     ResultRecord r;
     r.workload = workload;
+    r.config = config_hash;
     r.model = model;
     r.policy = policy;
     r.cycles = stats.cycles;
@@ -83,11 +63,14 @@ ResultRecord::fromStats(const std::string &workload, DynParModel model,
 std::string
 ResultRecord::encode() const
 {
+    const std::string &cfg =
+        config.empty() ? defaultMachineHash() : config;
     return logFormat(
-        "v1 workload=%s model=%d policy=%d cycles=%llu launches=%llu "
+        "v1 workload=%s config=%s model=%d policy=%d cycles=%llu "
+        "launches=%llu "
         "dynamicTbs=%llu bound=%llu overflows=%llu kduStalls=%llu "
         "ipc=%.17g l1=%.17g l2=%.17g util=%.17g imbalance=%.17g",
-        workload.c_str(), static_cast<int>(model),
+        workload.c_str(), cfg.c_str(), static_cast<int>(model),
         static_cast<int>(policy),
         static_cast<unsigned long long>(cycles),
         static_cast<unsigned long long>(launches),
@@ -107,7 +90,7 @@ ResultRecord::decode(const std::string &line, ResultRecord &out)
         return false;
 
     ResultRecord r;
-    // Bitmask of the 14 required fields, in encode() order.
+    // Bitmask of the 15 required fields, in encode() order.
     unsigned seen = 0;
     auto mark = [&seen](unsigned bit) { seen |= 1u << bit; };
 
@@ -121,6 +104,11 @@ ResultRecord::decode(const std::string &line, ResultRecord &out)
         if (k == "workload") {
             r.workload = v;
             mark(0);
+            continue;
+        }
+        if (k == "config") {
+            r.config = v;
+            mark(14);
             continue;
         }
         if (k == "model") {
@@ -170,7 +158,7 @@ ResultRecord::decode(const std::string &line, ResultRecord &out)
         if (end == v.c_str() || *end != '\0')
             return false;
     }
-    if (seen != (1u << 14) - 1)
+    if (seen != (1u << 15) - 1)
         return false;
     out = std::move(r);
     return true;
@@ -187,6 +175,20 @@ ResultRecord::csvRow() const
         static_cast<unsigned long long>(dynamicTbs),
         static_cast<unsigned long long>(bound),
         static_cast<unsigned long long>(overflows));
+}
+
+std::string
+ResultRecord::csvRowWithConfig() const
+{
+    const std::string &cfg =
+        config.empty() ? defaultMachineHash() : config;
+    return csvRow() + "," + cfg;
+}
+
+bool
+ResultRecord::customMachine() const
+{
+    return !config.empty() && config != defaultMachineHash();
 }
 
 RunResult
@@ -217,13 +219,30 @@ statsCsvHeader()
            "imbalance,launches,dynamicTbs,bound,overflows";
 }
 
+const char *
+statsCsvHeaderWithConfig()
+{
+    return "workload,model,policy,cycles,ipc,l1,l2,util,"
+           "imbalance,launches,dynamicTbs,bound,overflows,config";
+}
+
 std::string
 encodeSweepTsv(const std::vector<RunResult> &rows)
 {
+    // The preset column only appears when some row actually needs it,
+    // so an all-default sweep stays byte-identical to older releases
+    // (and to the caches those releases wrote).
+    bool extended = false;
+    for (const auto &r : rows)
+        extended = extended || r.preset != "k20c";
+
     std::ostringstream out;
-    out << "# workload model policy ipc l1 l2 cycles util imbalance "
+    out << (extended ? "# preset workload" : "# workload")
+        << " model policy ipc l1 l2 cycles util imbalance "
            "bound overflows kduStalls\n";
     for (const auto &r : rows) {
+        if (extended)
+            out << r.preset << ' ';
         out << r.workload << ' ' << static_cast<int>(r.model) << ' '
             << static_cast<int>(r.policy) << ' ' << r.ipc << ' '
             << r.l1HitRate << ' ' << r.l2HitRate << ' ' << r.cycles
@@ -240,12 +259,18 @@ decodeSweepTsv(const std::string &tsv, std::vector<RunResult> &out)
     std::istringstream in(tsv);
     std::vector<RunResult> rows;
     std::string line;
+    bool extended = false;
     while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
+        if (line.empty() || line[0] == '#') {
+            if (line.rfind("# preset ", 0) == 0)
+                extended = true;
             continue;
+        }
         std::istringstream ls(line);
         RunResult r;
         int mi, pi;
+        if (extended && !(ls >> r.preset))
+            return false;
         if (!(ls >> r.workload >> mi >> pi >> r.ipc >> r.l1HitRate >>
               r.l2HitRate >> r.cycles >> r.smxUtilization >>
               r.smxImbalance >> r.boundFraction >> r.queueOverflows >>

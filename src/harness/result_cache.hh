@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hh" // fnv1a64 / contentKey, re-exported for callers
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -45,12 +46,6 @@ std::string simFingerprint();
 /** Cache directory: $LAPERM_CACHE_DIR, default "cache". */
 std::string cacheRootDir();
 
-/** 64-bit FNV-1a over @p data starting from @p seed. */
-std::uint64_t fnv1a64(const std::string &data, std::uint64_t seed);
-
-/** 128-bit hex content key of a canonical request string. */
-std::string contentKey(const std::string &canonical);
-
 /**
  * Canonical record of one simulation run: every counter both the
  * laperm_sim CSV report and the sweep harness TSV derive from.
@@ -60,6 +55,13 @@ struct ResultRecord
     std::string workload;
     DynParModel model = DynParModel::CDP;
     TbPolicy policy = TbPolicy::RR;
+
+    /**
+     * Machine-config content hash (sim/config_loader.hh machineHash).
+     * Empty means "the default k20c machine"; encode() materializes
+     * the default hash so every stored record is self-describing.
+     */
+    std::string config;
 
     std::uint64_t cycles = 0;
     std::uint64_t launches = 0;    ///< GpuStats::deviceLaunches
@@ -73,9 +75,12 @@ struct ResultRecord
     double util = 0.0;
     double imbalance = 0.0;
 
+    /** @p config_hash empty means the default (k20c) machine. */
     static ResultRecord fromStats(const std::string &workload,
                                   DynParModel model, TbPolicy policy,
-                                  const GpuStats &stats);
+                                  const GpuStats &stats,
+                                  const std::string &config_hash =
+                                      std::string());
 
     /** Single-line "v1 k=v ..." encoding; doubles round-trip exactly. */
     std::string encode() const;
@@ -86,6 +91,16 @@ struct ResultRecord
     /** The laperm_sim --csv row (no trailing newline). */
     std::string csvRow() const;
 
+    /**
+     * csvRow() plus a trailing config-hash column; pairs with
+     * statsCsvHeaderWithConfig(). Used only for non-default machines so
+     * the default-config CSV stays byte-identical across releases.
+     */
+    std::string csvRowWithConfig() const;
+
+    /** True when the record's machine differs from the k20c default. */
+    bool customMachine() const;
+
     /** Convert to the sweep harness metric row. */
     RunResult toRunResult() const;
 };
@@ -93,14 +108,22 @@ struct ResultRecord
 /** Header row matching ResultRecord::csvRow (no trailing newline). */
 const char *statsCsvHeader();
 
+/** Header row matching ResultRecord::csvRowWithConfig. */
+const char *statsCsvHeaderWithConfig();
+
 /**
  * Serialize sweep results in the harness TSV format (header comment +
  * one row per cell, ostream default float formatting — the format
  * cached under sweepCachePath() and printed by laperm_submit --batch).
+ *
+ * When every row's preset is "k20c" the legacy 12-column format is
+ * emitted byte-identically to pre-preset releases; any other preset
+ * switches the whole table to the extended format with a leading
+ * "preset" column. decodeSweepTsv() accepts both.
  */
 std::string encodeSweepTsv(const std::vector<RunResult> &rows);
 
-/** Parse encodeSweepTsv output; false on any malformed row. */
+/** Parse encodeSweepTsv output (either format); false on a bad row. */
 bool decodeSweepTsv(const std::string &tsv, std::vector<RunResult> &out);
 
 /**

@@ -147,7 +147,7 @@ Cache::trimExpiredMshr(Cycle safe_now)
     // Access-time `now` is NOT a valid bound here — L2 sees timestamps
     // out of order, so an entry dead at one access can still satisfy a
     // merge for a logically earlier one.
-    if (mshr_.size() < 16)
+    if (mshr_.size() < params_.mshrTrimWatermark)
         return;
     // Order-independent erase filter: the surviving entry set is the
     // same whatever order buckets are visited, and nothing downstream

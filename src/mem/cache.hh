@@ -31,6 +31,11 @@ struct CacheParams
      * write-back write-allocate (L2 behaviour).
      */
     bool writeEvict = false;
+    /**
+     * MSHR entry count below which trimExpiredMshr() is a no-op; keeps
+     * the amortized sweep from touching tiny, cheap maps.
+     */
+    std::uint32_t mshrTrimWatermark = 16;
 };
 
 /** Outcome of a tag lookup. */

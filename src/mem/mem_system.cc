@@ -16,6 +16,7 @@ MemSystem::MemSystem(const GpuConfig &cfg)
         p.size = cfg.l1Size;
         p.assoc = cfg.l1Assoc;
         p.writeEvict = true;
+        p.mshrTrimWatermark = cfg.mshrTrimWatermark;
         l1s_.push_back(std::make_unique<Cache>(p));
     }
     CacheParams p2;
@@ -23,6 +24,7 @@ MemSystem::MemSystem(const GpuConfig &cfg)
     p2.size = cfg.l2Size;
     p2.assoc = cfg.l2Assoc;
     p2.writeEvict = false;
+    p2.mshrTrimWatermark = cfg.mshrTrimWatermark;
     l2_ = std::make_unique<Cache>(p2);
     dram_.emplace(cfg);
 }

@@ -5,6 +5,8 @@
 #include "common/log.hh"
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
+#include "sim/config_loader.hh"
+#include "sim/presets.hh"
 #include "workloads/registry.hh"
 
 namespace laperm {
@@ -123,20 +125,6 @@ wireScale(Scale s)
     return "small";
 }
 
-const char *
-wireWarp(WarpPolicy w)
-{
-    switch (w) {
-    case WarpPolicy::GTO:
-        return "gto";
-    case WarpPolicy::LRR:
-        return "lrr";
-    case WarpPolicy::TbAware:
-        return "tbaware";
-    }
-    return "gto";
-}
-
 bool
 getU32(const JsonObject &obj, const std::string &key, std::uint32_t &out,
        std::string &err)
@@ -159,10 +147,34 @@ SimRequest::fromJson(const JsonObject &obj, SimRequest &out,
     SimRequest r;
     r.cfg = paperConfig();
 
+    // Machine fields apply in fixed precedence — preset, then config
+    // TOML, then single-field shortcuts — independent of JSON field
+    // order (JsonObject iterates alphabetically, which would otherwise
+    // interleave them).
+    std::string s;
+    if (obj.count("preset")) {
+        const TickMode tick = r.cfg.tickMode;
+        if (!getString(obj, "preset", s) || !findPreset(s, r.cfg)) {
+            err = "'preset' must be one of: " + presetNameList();
+            return false;
+        }
+        r.cfg.tickMode = tick; // LAPERM_TICK_MODE override survives
+    }
+    if (obj.count("config")) {
+        if (!getString(obj, "config", s)) {
+            err = "'config' must be a string of machine TOML";
+            return false;
+        }
+        std::string toml_err;
+        if (!parseMachineToml(s, r.cfg, toml_err)) {
+            err = "bad 'config': " + toml_err;
+            return false;
+        }
+    }
+
     for (const auto &[key, value] : obj) {
-        std::string s;
-        if (key == "op") {
-            continue; // dispatched by the server before parsing
+        if (key == "op" || key == "preset" || key == "config") {
+            continue; // dispatched / already applied above
         } else if (key == "workload") {
             if (!getString(obj, key, r.workload)) {
                 err = "'workload' must be a string";
@@ -262,18 +274,16 @@ SimRequest::validate(std::string &err) const
 std::string
 SimRequest::canonical() const
 {
-    // Every knob the protocol can set, in fixed order. Defaults the
-    // protocol cannot reach are covered by the simulator fingerprint.
+    // Run coordinates in fixed order, then the full canonical machine
+    // string — every machine field, not just the ones the legacy
+    // shortcuts could reach. Two requests meaning the same simulation
+    // canonicalize identically however the machine was spelled.
     return logFormat(
-        "w=%s m=%d p=%d sc=%d seed=%llu smx=%u l1=%u l2=%u lv=%u "
-        "cdp=%llu dtbl=%llu ws=%d",
-        workload.c_str(), static_cast<int>(model),
-        static_cast<int>(policy), static_cast<int>(scale),
-        static_cast<unsigned long long>(seed), cfg.numSmx, cfg.l1Size,
-        cfg.l2Size, cfg.maxPriorityLevels,
-        static_cast<unsigned long long>(cfg.cdpLaunchLatency),
-        static_cast<unsigned long long>(cfg.dtblLaunchLatency),
-        static_cast<int>(cfg.warpPolicy));
+               "w=%s m=%d p=%d sc=%d seed=%llu ", workload.c_str(),
+               static_cast<int>(model), static_cast<int>(policy),
+               static_cast<int>(scale),
+               static_cast<unsigned long long>(seed)) +
+           canonicalMachine(cfg);
 }
 
 std::string
@@ -285,19 +295,18 @@ SimRequest::key() const
 std::string
 SimRequest::toJson() const
 {
+    // The machine travels as one embedded TOML document instead of the
+    // legacy per-field shortcuts: lossless for every machine field the
+    // shortcuts cannot reach (the parser still accepts the shortcuts
+    // from older clients). Default machines skip the field entirely.
     std::string out = logFormat(
         "{\"op\":\"run\",\"workload\":\"%s\",\"model\":\"%s\","
-        "\"policy\":\"%s\",\"scale\":\"%s\",\"seed\":%llu,"
-        "\"smx\":%u,\"l1_kb\":%u,\"l2_kb\":%u,\"levels\":%u,"
-        "\"cdp_latency\":%llu,\"dtbl_latency\":%llu,"
-        "\"warp_sched\":\"%s\"",
+        "\"policy\":\"%s\",\"scale\":\"%s\",\"seed\":%llu",
         jsonEscape(workload).c_str(), wireModel(model),
         wirePolicy(policy), wireScale(scale),
-        static_cast<unsigned long long>(seed), cfg.numSmx,
-        cfg.l1Size / 1024, cfg.l2Size / 1024, cfg.maxPriorityLevels,
-        static_cast<unsigned long long>(cfg.cdpLaunchLatency),
-        static_cast<unsigned long long>(cfg.dtblLaunchLatency),
-        wireWarp(cfg.warpPolicy));
+        static_cast<unsigned long long>(seed));
+    if (machineHash(cfg) != defaultMachineHash())
+        out += ",\"config\":\"" + jsonEscape(emitMachineToml(cfg)) + "\"";
     if (!traceDir.empty())
         out += ",\"trace_dir\":\"" + jsonEscape(traceDir) + "\"";
     out += "}";

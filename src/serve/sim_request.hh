@@ -45,10 +45,18 @@ struct SimRequest
 
     /**
      * Build from a parsed protocol object. Accepted fields: workload,
-     * model, policy, scale, warp_sched, trace_dir (strings); seed,
-     * smx, l1_kb, l2_kb, levels, cdp_latency, dtbl_latency (numbers).
-     * Unknown fields are rejected so a typo cannot silently run the
-     * default simulation. Does not validate semantics; see validate().
+     * model, policy, scale, warp_sched, trace_dir, preset, config
+     * (strings); seed, smx, l1_kb, l2_kb, levels, cdp_latency,
+     * dtbl_latency (numbers). Unknown fields are rejected so a typo
+     * cannot silently run the default simulation. Does not validate
+     * semantics; see validate().
+     *
+     * Machine fields layer in a fixed precedence regardless of the
+     * JSON field order: preset (named machine, sim/presets.hh), then
+     * config (machine-TOML text, sim/config_loader.hh), then the
+     * legacy single-field shortcuts (smx, l1_kb, ...). A malformed
+     * preset or config is a parse error — the server answers with a
+     * structured error response, never a default simulation.
      */
     static bool fromJson(const JsonObject &obj, SimRequest &out,
                          std::string &err);
@@ -56,7 +64,12 @@ struct SimRequest
     /** Semantic validation (workload exists, config sane); no fatal. */
     bool validate(std::string &err) const;
 
-    /** Deterministic canonical string covering every knob in the key. */
+    /**
+     * Deterministic canonical string covering every knob in the key:
+     * the run coordinates plus canonicalMachine(cfg), so any two
+     * spellings of the same machine (preset name, TOML, shortcuts)
+     * share one cache entry.
+     */
     std::string canonical() const;
 
     /** Content key of canonical() (harness/result_cache.hh). */

@@ -62,18 +62,36 @@ GpuConfig::check() const
 {
     if (numSmx == 0)
         return "numSmx must be > 0";
-    if (maxThreadsPerSmx % kWarpSize != 0)
+    if (maxThreadsPerSmx == 0 || maxThreadsPerSmx % kWarpSize != 0)
         return "maxThreadsPerSmx must be a multiple of the warp size";
-    if (l1Size % (l1Assoc * kLineBytes) != 0)
+    if (maxTbsPerSmx == 0)
+        return "maxTbsPerSmx must be > 0";
+    if (warpSchedulersPerSmx == 0)
+        return "warpSchedulersPerSmx must be > 0";
+    if (l1Assoc == 0 || l1Size % (l1Assoc * kLineBytes) != 0)
         return logFormat("L1 size %u not divisible by assoc*line", l1Size);
-    if (l2Size % (l2Assoc * kLineBytes) != 0)
+    if (l2Assoc == 0 || l2Size % (l2Assoc * kLineBytes) != 0)
         return logFormat("L2 size %u not divisible by assoc*line", l2Size);
+    if (l2Banks == 0)
+        return "l2Banks must be > 0";
+    if (dramChannels == 0 || dramBanksPerChannel == 0)
+        return "dramChannels and dramBanksPerChannel must be > 0";
     if (kduEntries == 0)
         return "kduEntries must be > 0";
     if (maxPriorityLevels == 0)
         return "maxPriorityLevels must be >= 1";
     if (smxPerCluster == 0 || numSmx % smxPerCluster != 0)
         return "numSmx must be divisible by smxPerCluster";
+    if (warpMlpWindow == 0)
+        return "warpMlpWindow must be > 0";
+    if (mshrTrimInterval == 0)
+        return "mshrTrimInterval must be > 0";
+    if (throttleHighMiss < 0.0 || throttleHighMiss > 1.0 ||
+        throttleLowMiss < 0.0 || throttleLowMiss > 1.0 ||
+        throttleLowMiss > throttleHighMiss) {
+        return "throttle miss thresholds must satisfy "
+               "0 <= low <= high <= 1";
+    }
     return std::string();
 }
 

@@ -105,6 +105,12 @@ struct GpuConfig
      */
     Cycle dramServiceInterval = 18;
 
+    // --- Simulator maintenance (timing-invisible; DESIGN.md §11) ---
+    /** Cycles between amortized MSHR garbage-collection sweeps. */
+    Cycle mshrTrimInterval = 4096;
+    /** MSHR entry count below which a trim sweep is skipped. */
+    std::uint32_t mshrTrimWatermark = 16;
+
     // --- Kernel management (Section II-B) ---
     std::uint32_t kduEntries = 32; ///< max concurrent kernels
 

@@ -1,0 +1,144 @@
+#include "sim/presets.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+namespace {
+
+/**
+ * NVIDIA Tesla K20c (Kepler GK110, CC 3.5) — the paper's Table I
+ * machine, byte-identical to a default-constructed GpuConfig.
+ */
+GpuConfig
+makeK20c()
+{
+    return GpuConfig();
+}
+
+/**
+ * NVIDIA GeForce GTX 1080 (Pascal GP104, CC 6.1). 20 SMs, 48KB L1,
+ * 2MB L2, 8x32-bit GDDR5X. DRAM service interval: 64 banks * 128B *
+ * 1.607GHz / 320GB/s ~= 41 cycles/access per bank.
+ */
+GpuConfig
+makeGtx1080()
+{
+    GpuConfig c;
+    c.numSmx = 20;
+    c.maxTbsPerSmx = 32;           // CC 6.x raises the residency limit
+    c.smemPerSmx = 96 * 1024;
+    c.l1Size = 48 * 1024;
+    c.l2Size = 2048 * 1024;
+    c.l2Banks = 8;
+    c.dramChannels = 8;
+    c.dramServiceInterval = 41;
+    c.kduEntries = 32;             // CC 6.1 keeps 32 concurrent kernels
+    return c;
+}
+
+/**
+ * NVIDIA Tesla P100 (Pascal GP100, CC 6.0). 56 SMs, 24KB L1, 4MB L2,
+ * HBM2 (4 stacks, 32 channels). DRAM service interval: 256 banks *
+ * 128B * 1.328GHz / 732GB/s ~= 59 cycles/access per bank.
+ */
+GpuConfig
+makeP100()
+{
+    GpuConfig c;
+    c.numSmx = 56;
+    c.maxTbsPerSmx = 32;
+    c.smemPerSmx = 64 * 1024;
+    c.l1Size = 24 * 1024;
+    c.l2Size = 4096 * 1024;
+    c.l2Banks = 16;
+    c.dramChannels = 32;
+    c.dramServiceInterval = 59;
+    c.kduEntries = 128;            // CC 6.0 lifts the concurrency cap
+    return c;
+}
+
+/**
+ * NVIDIA Tesla V100 (Volta GV100, CC 7.0). 80 SMs, 128KB combined
+ * L1/shared (modeled as 96KB L1 + 96KB smem carve-outs), 6MB L2, HBM2.
+ * DRAM service interval: 256 banks * 128B * 1.380GHz / 900GB/s ~= 50
+ * cycles/access per bank.
+ */
+GpuConfig
+makeV100()
+{
+    GpuConfig c;
+    c.numSmx = 80;
+    c.maxTbsPerSmx = 32;
+    c.smemPerSmx = 96 * 1024;
+    c.l1Size = 96 * 1024;
+    c.l2Size = 6144 * 1024;
+    c.l2Banks = 16;
+    c.dramChannels = 32;
+    c.dramServiceInterval = 50;
+    c.kduEntries = 128;
+    return c;
+}
+
+struct PresetDef
+{
+    const char *name;
+    const char *description;
+    GpuConfig (*build)();
+};
+
+// One entry per line: scripts/docs_check.sh greps this table to keep
+// the documented preset list in sync with the registry.
+const PresetDef kPresets[] = {
+    {"k20c", "Tesla K20c (Kepler GK110, CC 3.5) - the paper's Table I machine", makeK20c},
+    {"gtx1080", "GeForce GTX 1080 (Pascal GP104, CC 6.1) - 20 SMs, GDDR5X", makeGtx1080},
+    {"p100", "Tesla P100 (Pascal GP100, CC 6.0) - 56 SMs, HBM2", makeP100},
+    {"v100", "Tesla V100 (Volta GV100, CC 7.0) - 80 SMs, HBM2", makeV100},
+};
+
+} // namespace
+
+std::vector<PresetInfo>
+presets()
+{
+    std::vector<PresetInfo> out;
+    for (const PresetDef &p : kPresets)
+        out.push_back(PresetInfo{p.name, p.description});
+    return out;
+}
+
+bool
+findPreset(const std::string &name, GpuConfig &out)
+{
+    for (const PresetDef &p : kPresets) {
+        if (name == p.name) {
+            out = p.build();
+            return true;
+        }
+    }
+    return false;
+}
+
+GpuConfig
+presetConfig(const std::string &name)
+{
+    GpuConfig cfg;
+    if (!findPreset(name, cfg)) {
+        laperm_fatal("unknown preset '%s' (known: %s)", name.c_str(),
+                     presetNameList().c_str());
+    }
+    return cfg;
+}
+
+std::string
+presetNameList()
+{
+    std::string out;
+    for (const PresetDef &p : kPresets) {
+        if (!out.empty())
+            out += ", ";
+        out += p.name;
+    }
+    return out;
+}
+
+} // namespace laperm

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Named hardware presets (DESIGN.md §13.4). Each preset is a complete
+ * GpuConfig for a real machine, spanning the Kepler -> Volta
+ * generations used by the cross-generation study in EXPERIMENTS.md.
+ *
+ * Presets change *geometry* (SMX count, cache sizes, DRAM bandwidth,
+ * residency and KDU limits) and deliberately keep the K20c-era access
+ * latencies, the paper's launch costs, and the LaPerm queue hardware
+ * fixed, so cross-preset comparisons isolate the scaling question
+ * ("what happens to locality-aware scheduling as the machine grows")
+ * from retimed-everything noise. The arithmetic behind each derived
+ * value is spelled out in DESIGN.md §13.4.
+ *
+ * The "k20c" preset is defined as a default-constructed GpuConfig and
+ * a test pins machineHash(presetConfig("k20c")) == defaultMachineHash()
+ * so the paper's Table I machine can never drift.
+ */
+
+#ifndef LAPERM_SIM_PRESETS_HH
+#define LAPERM_SIM_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace laperm {
+
+/** One named machine preset. */
+struct PresetInfo
+{
+    const char *name;        ///< CLI / wire name (e.g. "v100")
+    const char *description; ///< one-line hardware summary
+};
+
+/** All presets, oldest generation first. */
+std::vector<PresetInfo> presets();
+
+/** True and fills @p out if @p name is a known preset. */
+bool findPreset(const std::string &name, GpuConfig &out);
+
+/** Preset config by name; fatal() on an unknown name (CLI-checked). */
+GpuConfig presetConfig(const std::string &name);
+
+/** Comma-separated preset names for usage/error text. */
+std::string presetNameList();
+
+} // namespace laperm
+
+#endif // LAPERM_SIM_PRESETS_HH

@@ -11,6 +11,9 @@
  *     --model M         cdp | dtbl (default dtbl)
  *     --scale S         tiny | small | full (default small)
  *     --seed N          input-generator seed (default 1)
+ *     --preset NAME     hardware preset (k20c | gtx1080 | p100 | v100)
+ *     --config FILE     machine TOML applied on top of the preset
+ *     --list-presets    list preset names and exit
  *     --smx N           override SMX count
  *     --l1-kb N         override L1 size
  *     --l2-kb N         override L2 size
@@ -21,7 +24,12 @@
  *     --tick-mode T     event | dense (default event; dense is the
  *                       reference loop, byte-identical results)
  *     --csv             one CSV row per run instead of the report
+ *                       (non-default machines append a config column)
  *     --list            list workload names and exit
+ *
+ * Machine flags apply in command-line order, later flags overriding
+ * earlier ones: put --preset (whole-machine) first, then --config
+ * (file of overrides), then single-field flags like --smx.
  *
  * Observability outputs (DESIGN.md §8; any combination may be given):
  *     --trace FILE          dispatch-event CSV (legacy flat format)
@@ -46,6 +54,8 @@
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
 #include "harness/table.hh"
+#include "sim/config_loader.hh"
+#include "sim/presets.hh"
 #include "tools/cli_parse.hh"
 #include "workloads/registry.hh"
 
@@ -82,7 +92,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--workload NAME|all] [--policy "
                  "rr|tbpri|smxbind|adaptive] [--model cdp|dtbl] "
-                 "[--scale tiny|small|full] [--seed N] [--smx N] "
+                 "[--scale tiny|small|full] [--seed N] "
+                 "[--preset NAME] [--config FILE] [--list-presets] "
+                 "[--smx N] "
                  "[--l1-kb N] [--l2-kb N] [--levels N] "
                  "[--cdp-latency N] [--dtbl-latency N] "
                  "[--warp-sched gto|lrr] [--tick-mode event|dense] "
@@ -132,18 +144,25 @@ report(const Options &opt, const Workload &w, const GpuStats &s)
     if (opt.csv) {
         // Shared with the serving subsystem: laperm_submit renders the
         // same record through the same formatter, which is what makes
-        // served results byte-identical to a direct run.
-        std::printf("%s\n",
-                    ResultRecord::fromStats(w.fullName(), opt.model,
-                                            opt.policy, s)
-                        .csvRow()
-                        .c_str());
+        // served results byte-identical to a direct run. Only a
+        // non-default machine appends the config column, keeping the
+        // default-machine CSV byte-identical across releases.
+        const ResultRecord rec =
+            ResultRecord::fromStats(w.fullName(), opt.model, opt.policy,
+                                    s, machineHash(opt.cfg));
+        std::printf("%s\n", rec.customMachine()
+                                ? rec.csvRowWithConfig().c_str()
+                                : rec.csvRow().c_str());
         return;
     }
     std::printf("=== %s  (%s, %s, scale %s, seed %llu)\n",
                 w.fullName().c_str(), toString(opt.model),
                 toString(opt.policy), toString(opt.scale),
                 static_cast<unsigned long long>(opt.seed));
+    if (machineHash(opt.cfg) != defaultMachineHash())
+        std::printf("  machine           %s  [%s]\n",
+                    opt.cfg.summary().c_str(),
+                    machineHash(opt.cfg).c_str());
     std::printf("  cycles            %llu\n",
                 static_cast<unsigned long long>(s.cycles));
     std::printf("  IPC               %.3f\n", s.ipc());
@@ -207,6 +226,20 @@ main(int argc, char **argv)
             opt.scale = scaleFromString(next_arg(i));
         } else if (!std::strcmp(a, "--seed")) {
             opt.seed = parseU64(next_arg(i), "--seed");
+        } else if (!std::strcmp(a, "--preset")) {
+            // Whole-machine replacement; the tick mode is a simulator
+            // strategy, not machine geometry, so it survives.
+            const TickMode tick = opt.cfg.tickMode;
+            opt.cfg = presetConfig(next_arg(i));
+            opt.cfg.tickMode = tick;
+        } else if (!std::strcmp(a, "--config")) {
+            std::string err;
+            if (!loadMachineToml(next_arg(i), opt.cfg, err))
+                laperm_fatal("%s", err.c_str());
+        } else if (!std::strcmp(a, "--list-presets")) {
+            for (const auto &p : presets())
+                std::printf("%s\t%s\n", p.name, p.description);
+            return 0;
         } else if (!std::strcmp(a, "--smx")) {
             opt.cfg.numSmx = parseU32(next_arg(i), "--smx");
         } else if (!std::strcmp(a, "--l1-kb")) {
@@ -273,7 +306,10 @@ main(int argc, char **argv)
         names.push_back(opt.workload);
 
     if (opt.csv)
-        std::printf("%s\n", statsCsvHeader());
+        std::printf("%s\n",
+                    machineHash(opt.cfg) != defaultMachineHash()
+                        ? statsCsvHeaderWithConfig()
+                        : statsCsvHeader());
     // With --workload all, each per-workload output file is prefixed
     // with the workload name ("bfs-citation.<file>").
     auto out_path = [&](const std::string &name,

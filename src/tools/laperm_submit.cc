@@ -14,6 +14,8 @@
  *     --model M         cdp | dtbl (default dtbl)
  *     --scale S         tiny | small | full (default small)
  *     --seed N          input-generator seed (default 1)
+ *     --preset NAME     hardware preset (k20c | gtx1080 | p100 | v100)
+ *     --config FILE     machine TOML applied on top of the preset
  *     --smx N           override SMX count
  *     --l1-kb N         override L1 size
  *     --l2-kb N         override L2 size
@@ -44,6 +46,8 @@
 #include "harness/result_cache.hh"
 #include "serve/client.hh"
 #include "serve/sim_request.hh"
+#include "sim/config_loader.hh"
+#include "sim/presets.hh"
 #include "tools/cli_parse.hh"
 
 using namespace laperm;
@@ -67,7 +71,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--socket PATH] [--workload NAME] "
         "[--policy rr|tbpri|smxbind|adaptive] [--model cdp|dtbl] "
-        "[--scale tiny|small|full] [--seed N] [--smx N] [--l1-kb N] "
+        "[--scale tiny|small|full] [--seed N] [--preset NAME] "
+        "[--config FILE] [--smx N] [--l1-kb N] "
         "[--l2-kb N] [--levels N] [--cdp-latency N] [--dtbl-latency N] "
         "[--warp-sched gto|lrr] [--trace-dir DIR] [--batch FILE] "
         "[--stats] [--ping] [--shutdown] [--retries N] "
@@ -302,6 +307,14 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (!std::strcmp(a, "--seed")) {
             req.seed = parse_u64(next_arg(i), "--seed");
+        } else if (!std::strcmp(a, "--preset")) {
+            const TickMode tick = req.cfg.tickMode;
+            req.cfg = presetConfig(next_arg(i));
+            req.cfg.tickMode = tick;
+        } else if (!std::strcmp(a, "--config")) {
+            std::string cfg_err;
+            if (!loadMachineToml(next_arg(i), req.cfg, cfg_err))
+                laperm_fatal("%s", cfg_err.c_str());
         } else if (!std::strcmp(a, "--smx")) {
             req.cfg.numSmx = parse_u32(next_arg(i), "--smx");
         } else if (!std::strcmp(a, "--l1-kb")) {
@@ -372,7 +385,13 @@ main(int argc, char **argv)
     ResultRecord rec;
     if (!submitRun(client, req, rec, err))
         return fail(err);
-    // Byte-identical to `laperm_sim --csv`.
-    std::printf("%s\n%s\n", statsCsvHeader(), rec.csvRow().c_str());
+    // Byte-identical to `laperm_sim --csv`: non-default machines get
+    // the config column, default machines the legacy 13 columns.
+    if (rec.customMachine()) {
+        std::printf("%s\n%s\n", statsCsvHeaderWithConfig(),
+                    rec.csvRowWithConfig().c_str());
+    } else {
+        std::printf("%s\n%s\n", statsCsvHeader(), rec.csvRow().c_str());
+    }
     return 0;
 }

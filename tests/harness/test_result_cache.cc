@@ -7,6 +7,8 @@
 
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
+#include "sim/config_loader.hh"
+#include "sim/presets.hh"
 
 using namespace laperm;
 
@@ -69,6 +71,34 @@ TEST(ResultRecordTest, EncodeDecodeRoundTripIsBitExact)
     // And therefore every derived rendering matches byte-for-byte.
     EXPECT_EQ(a.csvRow(), b.csvRow());
     EXPECT_EQ(a.encode(), b.encode());
+}
+
+TEST(ResultRecordTest, ConfigHashTravelsThroughEncodeAndCsv)
+{
+    // A default-machine record: encode spells out the default hash,
+    // decode recovers it, and the record renders as a legacy row.
+    ResultRecord plain = sampleRecord();
+    EXPECT_FALSE(plain.customMachine());
+    ResultRecord back;
+    ASSERT_TRUE(ResultRecord::decode(plain.encode(), back));
+    EXPECT_FALSE(back.customMachine());
+    EXPECT_EQ(back.csvRow(), plain.csvRow());
+
+    // A v100 record: the machine hash survives the round trip and the
+    // extended CSV row carries it as the last column.
+    ResultRecord v100 = sampleRecord();
+    v100.config = machineHash(presetConfig("v100"));
+    EXPECT_TRUE(v100.customMachine());
+    ASSERT_TRUE(ResultRecord::decode(v100.encode(), back));
+    EXPECT_EQ(back.config, v100.config);
+    EXPECT_TRUE(back.customMachine());
+    EXPECT_EQ(back.csvRowWithConfig(),
+              back.csvRow() + "," + v100.config);
+    EXPECT_NE(plain.encode(), v100.encode()); // hashes differ on wire
+
+    // The extended header has exactly one extra column.
+    EXPECT_EQ(statsCsvHeaderWithConfig(),
+              std::string(statsCsvHeader()) + ",config");
 }
 
 TEST(ResultRecordTest, DecodeRejectsMalformedLines)
@@ -181,6 +211,42 @@ TEST(ResultCacheTest, SweepTsvRoundTrip)
 
     std::vector<RunResult> bad;
     EXPECT_FALSE(decodeSweepTsv("not a sweep\n", bad));
+}
+
+TEST(ResultCacheTest, SweepTsvExtendsOnlyForNonDefaultPresets)
+{
+    std::vector<RunResult> rows(2);
+    rows[0].workload = std::string("bfs-cage");
+    rows[0].model = DynParModel::CDP;
+    rows[0].policy = TbPolicy::RR;
+    rows[0].ipc = 0.5;
+    rows[0].cycles = 1e6;
+    rows[1] = rows[0];
+    rows[1].workload = std::string("bfs-citation");
+
+    // All-k20c matrices keep the legacy bytes: no preset column.
+    const std::string legacy = encodeSweepTsv(rows);
+    EXPECT_EQ(legacy.find("# preset"), std::string::npos);
+
+    // One non-default preset switches the whole file to the extended
+    // format, and the round trip preserves both bytes and presets.
+    rows[1].preset = "v100";
+    const std::string extended = encodeSweepTsv(rows);
+    EXPECT_EQ(extended.rfind("# preset ", 0), 0u);
+    std::vector<RunResult> back;
+    ASSERT_TRUE(decodeSweepTsv(extended, back));
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].preset, "k20c");
+    EXPECT_EQ(back[1].preset, "v100");
+    EXPECT_EQ(back[1].workload, "bfs-citation");
+    EXPECT_EQ(encodeSweepTsv(back), extended);
+
+    // Legacy files still decode, defaulting every row to k20c.
+    std::vector<RunResult> legacyBack;
+    ASSERT_TRUE(decodeSweepTsv(legacy, legacyBack));
+    ASSERT_EQ(legacyBack.size(), 2u);
+    EXPECT_EQ(legacyBack[0].preset, "k20c");
+    EXPECT_EQ(encodeSweepTsv(legacyBack), legacy);
 }
 
 TEST(ResultCacheTest, EnvOverridesFingerprintAndDir)

@@ -23,6 +23,8 @@
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "serve/sim_request.hh"
+#include "sim/config_loader.hh"
+#include "sim/presets.hh"
 #include "workloads/registry.hh"
 
 using namespace laperm;
@@ -191,6 +193,75 @@ TEST(ServeRequest, RejectsUnknownFieldsAndBadValues)
 
     ASSERT_TRUE(parseJsonObject(R"({"op":"run","seed":-3})", obj, err));
     EXPECT_FALSE(SimRequest::fromJson(obj, r, err));
+}
+
+TEST(ServeRequest, PresetAndInlineConfigSpellingsShareAKey)
+{
+    // The same v100 machine, three spellings: the preset name, the
+    // full emitted TOML, and the preset request round-tripped through
+    // its own wire form. All must canonicalize to one cache key.
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(
+        parseJsonObject(R"({"op":"run","preset":"v100"})", obj, err));
+    SimRequest byPreset;
+    ASSERT_TRUE(SimRequest::fromJson(obj, byPreset, err)) << err;
+
+    const std::string toml = emitMachineToml(presetConfig("v100"));
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","config":")" + jsonEscape(toml) + "\"}", obj,
+        err))
+        << err;
+    SimRequest byToml;
+    ASSERT_TRUE(SimRequest::fromJson(obj, byToml, err)) << err;
+
+    ASSERT_TRUE(parseJsonObject(byPreset.toJson(), obj, err)) << err;
+    SimRequest byWire;
+    ASSERT_TRUE(SimRequest::fromJson(obj, byWire, err)) << err;
+
+    EXPECT_EQ(byPreset.canonical(), byToml.canonical());
+    EXPECT_EQ(byPreset.key(), byToml.key());
+    EXPECT_EQ(byPreset.key(), byWire.key());
+
+    // ...and a default-machine request keys differently.
+    ASSERT_TRUE(parseJsonObject(R"({"op":"run"})", obj, err));
+    SimRequest k20c;
+    ASSERT_TRUE(SimRequest::fromJson(obj, k20c, err)) << err;
+    EXPECT_NE(k20c.key(), byPreset.key());
+}
+
+TEST(ServeRequest, ConfigOverlaysPresetAndShortcutsOverlayConfig)
+{
+    // Documented precedence: preset, then config TOML, then the
+    // legacy shortcut fields — regardless of JSON key order.
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","smx":4,"preset":"v100","config":"l2_banks = 4\n"})",
+        obj, err));
+    SimRequest r;
+    ASSERT_TRUE(SimRequest::fromJson(obj, r, err)) << err;
+    EXPECT_EQ(r.cfg.numSmx, 4u);         // shortcut wins over preset
+    EXPECT_EQ(r.cfg.l2Banks, 4u);        // config TOML applied
+    EXPECT_EQ(r.cfg.l2Size, 6144u * 1024u); // rest is still v100
+}
+
+TEST(ServeRequest, BadPresetAndBadConfigAreStructuredErrors)
+{
+    JsonObject obj;
+    std::string err;
+    SimRequest r;
+
+    ASSERT_TRUE(parseJsonObject(R"({"op":"run","preset":"k40"})", obj,
+                                err));
+    EXPECT_FALSE(SimRequest::fromJson(obj, r, err));
+    EXPECT_NE(err.find("k20c"), std::string::npos) << err; // names list
+
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","config":"warp_count = 9\n"})", obj, err));
+    EXPECT_FALSE(SimRequest::fromJson(obj, r, err));
+    EXPECT_NE(err.find("config"), std::string::npos) << err;
+    EXPECT_NE(err.find("warp_count"), std::string::npos) << err;
 }
 
 TEST(ServeRequest, ValidateCatchesSemanticErrors)
