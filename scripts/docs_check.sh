@@ -26,6 +26,13 @@
 # (backticked) in both README.md and DESIGN.md, and every `--preset X`
 # example anywhere in the docs must name a real preset — same
 # two-direction pattern as the sim-lint rule<->doc check.
+#
+# Tenant-metric rules: every fairness/tail metric the multi-tenant
+# sweep emits (the TSV header literal in src/harness/tenant_sweep.cc)
+# must be documented (backticked) in DESIGN.md §14, and every
+# backticked metric-shaped token in the docs must be one the sweep
+# actually emits; every `--tenants X` example must name a builtin mix
+# or a .toml file.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -207,6 +214,41 @@ for p in $doc_presets; do
     fi
 done
 
+# --- Tenant metrics: sweep TSV header <-> DESIGN.md, both directions ---
+tenant_hdr=$(grep -A1 '"# mix preset policy' src/harness/tenant_sweep.cc)
+tenant_metrics=$(grep -ohE '\b(ANTT|STP|Jain|p(50|95|99))\b' \
+    <<<"$tenant_hdr" | sort -u)
+[ -n "$tenant_metrics" ] ||
+    err "could not extract tenant metric names from tenant_sweep.cc"
+for m in $tenant_metrics; do
+    if ! grep -q "\`$m\`" DESIGN.md; then
+        err "tenant metric '$m' is not documented (backticked) in DESIGN.md"
+    fi
+done
+doc_metrics=$(grep -ohE '`(ANTT|STP|Jain|p[0-9]+)`' $all_docs |
+    tr -d '\`' | sort -u)
+for m in $doc_metrics; do
+    # `p100` is a hardware preset, not a percentile — skip anything the
+    # preset registry already claims.
+    if grep -qx "$m" <<<"$presets"; then
+        continue
+    fi
+    if ! grep -qx "$m" <<<"$tenant_metrics"; then
+        err "docs reference unknown tenant metric '$m'"
+    fi
+done
+# --tenants examples must name a builtin mix (or point at a TOML file).
+mixes=$(grep -oE 'm\.name = "[a-z0-9-]+"' src/tenant/mixes.cc |
+    grep -oE '"[a-z0-9-]+"' | tr -d '"' | sort -u)
+[ -n "$mixes" ] || err "could not extract builtin mix names from mixes.cc"
+doc_mixes=$(grep -ohE '\-\-tenants[= ][a-z0-9.-]+' $all_docs |
+    sed -E 's/--tenants[= ]//' | grep -v '\.toml$' | sort -u)
+for m in $doc_mixes; do
+    if ! grep -qx "$m" <<<"$mixes"; then
+        err "docs reference unknown builtin mix '$m' after --tenants"
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "docs-check: FAILED" >&2
     exit 1
@@ -216,4 +258,5 @@ $(echo "$example_targets" | wc -l) examples, \
 $(echo "$verbs" | wc -l) protocol verbs, \
 $(echo "$doc_flags" | grep -c -- --) documented flags, \
 $(echo "$lint_rules" | wc -l) sim-lint rules, \
-$(echo "$presets" | wc -l) presets checked)"
+$(echo "$presets" | wc -l) presets, \
+$(echo "$tenant_metrics" | wc -l) tenant metrics checked)"

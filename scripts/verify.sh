@@ -8,6 +8,8 @@
 #   tick-diff    scripts/tick_diff.sh (dense/event artifacts identical,
 #                DESIGN.md §11)
 #   serve-smoke  scripts/serve_smoke.sh (daemon end-to-end, DESIGN.md §10)
+#   tenant-smoke scripts/tenant_smoke.sh (multi-tenant determinism
+#                across tick modes and LAPERM_JOBS, DESIGN.md §14)
 #   asan-ubsan   full test suite under AddressSanitizer + UBSan
 #   tsan         concurrent-harness smoke under ThreadSanitizer
 #
@@ -71,6 +73,13 @@ stage_serve_smoke() {
         scripts/serve_smoke.sh build
 }
 
+stage_tenant_smoke() {
+    # Reuses the Release tree the ctest stage just built.
+    cmake --build build -j"$JOBS" \
+        --target laperm_sim bench_multitenant &&
+        scripts/tenant_smoke.sh build
+}
+
 stage_asan() {
     cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DLAPERM_ASAN=ON &&
@@ -95,6 +104,7 @@ run_stage build-werror stage_werror
 run_stage ctest stage_ctest
 run_stage tick-diff stage_tick_diff
 run_stage serve-smoke stage_serve_smoke
+run_stage tenant-smoke stage_tenant_smoke
 run_stage asan-ubsan stage_asan
 run_stage tsan stage_tsan
 

@@ -26,12 +26,12 @@ Launcher::hostLaunch(const LaunchRequest &req, Cycle now)
 
     KernelInstance *kernel =
         kdu_.admitKernel(req.program->functionId(), req.threadsPerTb,
-                         req.numTbs, false, now);
+                         req.numTbs, false, now, req.tenant);
     ++stats_.kernelsLaunched;
     if (hub_.enabled()) {
         // Host launches admit in the same cycle they are queued.
         hub_.launchAdmitted({now, kernel->id, 0, kNoTb, req.numTbs, false,
-                             false, now, now});
+                             false, now, now, req.tenant});
     }
 
     DispatchUnit *unit = kdu_.createUnit();
@@ -43,6 +43,7 @@ Launcher::hostLaunch(const LaunchRequest &req, Cycle now)
     unit->regsPerTb = req.program->regsPerThread() * req.threadsPerTb;
     unit->smemPerTb = req.program->smemPerTb();
     unit->priority = 0;
+    unit->tenant = req.tenant;
     unit->readyAt = now;
     undispatchedTbs_ += req.numTbs;
     sched_.enqueue(unit, now);
@@ -57,6 +58,8 @@ Launcher::deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
 
     PendingLaunch p;
     p.req = req;
+    // Children stay in their launching TB's tenant stream.
+    p.req.tenant = parent.tenant;
     // Children run one level above their direct parent, clamped to the
     // maximum nesting level L (Section IV-A).
     p.priority = std::min(parent.priority + 1, cfg_.maxPriorityLevels);
@@ -68,7 +71,7 @@ Launcher::deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
                            : cfg_.dtblLaunchLatency);
     if (hub_.enabled()) {
         hub_.launchQueued({now, 0, p.priority, p.directParent, req.numTbs,
-                           true, false, now, p.readyAt});
+                           true, false, now, p.readyAt, p.req.tenant});
     }
     kmu_.push(std::move(p));
 }
@@ -87,6 +90,7 @@ Launcher::makeUnit(KernelInstance *kernel, std::uint32_t first_tb,
         launch.req.program->regsPerThread() * launch.req.threadsPerTb;
     unit->smemPerTb = launch.req.program->smemPerTb();
     unit->priority = launch.priority;
+    unit->tenant = launch.req.tenant;
     unit->directParent = launch.directParent;
     unit->boundSmx = launch.parentSmx;
     unit->readyAt = now;
@@ -108,14 +112,16 @@ Launcher::tick(Cycle now)
     if (cfg_.dynParModel == DynParModel::DTBL) {
         // Coalesce onto a running kernel with a matching configuration.
         KernelInstance *match = kdu_.findMatch(
-            p->req.program->functionId(), p->req.threadsPerTb);
+            p->req.program->functionId(), p->req.threadsPerTb,
+            p->req.tenant);
         if (match) {
             std::uint32_t first = kdu_.coalesceTbs(match, p->req.numTbs);
             ++stats_.dtblCoalesced;
             if (hub_.enabled()) {
                 hub_.launchAdmitted({now, match->id, p->priority,
                                      p->directParent, p->req.numTbs, true,
-                                     true, p->queuedAt, p->readyAt});
+                                     true, p->queuedAt, p->readyAt,
+                                     p->req.tenant});
             }
             makeUnit(match, first, *p, now);
             kmu_.pop(p);
@@ -133,12 +139,12 @@ Launcher::tick(Cycle now)
     }
     KernelInstance *kernel =
         kdu_.admitKernel(p->req.program->functionId(), p->req.threadsPerTb,
-                         p->req.numTbs, true, now);
+                         p->req.numTbs, true, now, p->req.tenant);
     ++stats_.kernelsLaunched;
     if (hub_.enabled()) {
         hub_.launchAdmitted({now, kernel->id, p->priority, p->directParent,
                              p->req.numTbs, true, false, p->queuedAt,
-                             p->readyAt});
+                             p->readyAt, p->req.tenant});
     }
     makeUnit(kernel, 0, *p, now);
     kmu_.pop(p);

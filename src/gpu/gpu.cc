@@ -143,6 +143,60 @@ Gpu::runToIdle(Cycle max_cycles)
 }
 
 void
+Gpu::runUntil(Cycle stop, Cycle max_cycles)
+{
+    laperm_assert(stop != kNoCycle, "runUntil without a stop cycle");
+    if (cfg_.tickMode == TickMode::Event) {
+        runEventLoop(max_cycles, stop);
+        return;
+    }
+    const Cycle start = cycle_;
+    while (!idle() && cycle_ < stop) {
+        tick();
+        if (cycle_ - start > max_cycles) {
+            laperm_panic("simulation exceeded %llu cycles "
+                         "(undispatched=%llu active=%llu pending=%zu)",
+                         static_cast<unsigned long long>(max_cycles),
+                         static_cast<unsigned long long>(undispatchedTbs_),
+                         static_cast<unsigned long long>(activeTbs_),
+                         launcher_->kmu().size());
+        }
+    }
+    // A no-progress jump may have overshot the slice boundary; the gap
+    // it skipped is eventless, so resuming at stop is timing-neutral
+    // (the next slice recomputes the very same jump).
+    if (cycle_ > stop)
+        cycle_ = stop;
+}
+
+void
+Gpu::advanceTo(Cycle cycle)
+{
+    laperm_assert(idle(), "advanceTo with live work");
+    laperm_assert(cycle >= cycle_, "advanceTo moving backwards");
+    cycle_ = cycle;
+    if (cfg_.tickMode == TickMode::Event) {
+        // Orphaned wakeups from the drained run would surface as batch
+        // times in the past; reset all event-mode state so the next
+        // slice re-arms from the new clock.
+        eq_.clear();
+        feArmedAt_ = kNoCycle;
+        maintArmedAt_ = kNoCycle;
+        std::fill(smxArmedAt_.begin(), smxArmedAt_.end(), kNoCycle);
+        feOnNextEvent_ = false;
+    }
+}
+
+std::uint64_t
+Gpu::residentThreads() const
+{
+    std::uint64_t total = 0;
+    for (SmxId id : activeSmxs_)
+        total += smxs_[id]->threadsUsed();
+    return total;
+}
+
+void
 Gpu::armFrontEnd(Cycle cycle)
 {
     // The front end is due at every non-maintenance batch, so it is a
@@ -178,7 +232,7 @@ Gpu::armMaintenance(Cycle cycle)
  * their next wakeup instead of being polled.
  */
 void
-Gpu::runEventLoop(Cycle max_cycles)
+Gpu::runEventLoop(Cycle max_cycles, Cycle stop)
 {
     const Cycle start = cycle_;
     armFrontEnd(cycle_);
@@ -191,6 +245,13 @@ Gpu::runEventLoop(Cycle max_cycles)
         const Cycle t =
             std::min({feArmedAt_, smxAt, maintArmedAt_});
         laperm_assert(t != kNoCycle, "no next event with live work");
+        if (t >= stop) {
+            // Slice boundary: every pending wakeup is at or past stop,
+            // so pausing here and re-arming on re-entry (the top-of-
+            // function arms) replays the dense loop's visit at stop.
+            cycle_ = stop;
+            return;
+        }
         bool progress = false;
 
         // Front-end phase: due when armed for this cycle, or — lazy
@@ -351,6 +412,7 @@ Gpu::dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now)
     tb->priority = unit.priority;
     tb->directParent = unit.directParent;
     tb->isDynamic = unit.directParent != kNoTb;
+    tb->tenant = unit.tenant;
 
     ++unit.kernel->dispatchedTbs;
     laperm_assert(undispatchedTbs_ > 0, "undispatched TB underflow");
@@ -364,7 +426,7 @@ Gpu::dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now)
     if (hub_.enabled()) {
         hub_.tbDispatch({now, tb->uid, tb->kernel->id, tb->tbIndex, smx,
                          tb->priority, tb->isDynamic, tb->directParent,
-                         now});
+                         now, tb->tenant});
     }
     smxs_[smx]->acceptTb(tb, now);
     // A TB whose warps are all empty completes inside acceptTb; only
@@ -395,7 +457,7 @@ Gpu::tbCompleted(ThreadBlock &tb, Cycle now)
     if (hub_.enabled()) {
         hub_.tbRetire({now, tb.uid, tb.kernel->id, tb.tbIndex, tb.smx,
                        tb.priority, tb.isDynamic, tb.directParent,
-                       tb.dispatchCycle});
+                       tb.dispatchCycle, tb.tenant});
     }
     kdu_.tbFinished(tb.kernel);
     laperm_assert(activeTbs_ > 0, "active TB underflow");

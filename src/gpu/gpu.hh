@@ -52,6 +52,42 @@ class Gpu : public SmxCallbacks, public DispatchContext
      */
     void runToIdle(Cycle max_cycles = Cycle(1) << 36);
 
+    /**
+     * Run until the device is idle or the clock reaches @p stop,
+     * whichever comes first (time-sliced execution for the multi-tenant
+     * manager). Slice boundaries are timing-transparent: running
+     * runUntil(a) then runUntil(b) is byte-identical to one
+     * runUntil(b), and a fully sliced run matches runToIdle for
+     * policies whose failed dispatch probes are side-effect-free.
+     */
+    void runUntil(Cycle stop, Cycle max_cycles = Cycle(1) << 36);
+
+    /**
+     * Jump an idle device forward to @p cycle (the open-loop arrival
+     * gap). Asserts idleness; all event-mode wakeups are reset so the
+     * next slice re-arms from the new clock.
+     */
+    void advanceTo(Cycle cycle);
+
+    /** Whether all launched work has drained. */
+    bool isIdle() const { return idle(); }
+
+    /** Threads resident across all SMXs (the occupancy numerator). */
+    std::uint64_t residentThreads() const;
+
+    /**
+     * Install (or clear, with nullptr) the tenant dispatch gate. The
+     * gate must outlive the run; flips are only legal between run
+     * slices, followed by noteDispatchGateChanged().
+     */
+    void setDispatchGate(const DispatchGate *gate) { gate_ = gate; }
+
+    /**
+     * A gate flip may have made a previously blocked unit dispatchable;
+     * memoized schedulers must drop their failed-scan memo.
+     */
+    void noteDispatchGateChanged() { sched_->noteCapacityFreed(); }
+
     /** Convenience: launch each wave and drain it before the next. */
     void runWaves(const std::vector<LaunchRequest> &waves);
 
@@ -96,6 +132,7 @@ class Gpu : public SmxCallbacks, public DispatchContext
     bool fits(SmxId smx, const DispatchUnit &unit) const override;
     void dispatchTb(DispatchUnit &unit, SmxId smx, Cycle now) override;
     GpuStats &mutableStats() override { return stats_; }
+    const DispatchGate *gate() const override { return gate_; }
 
     // --- SmxCallbacks ---
     void deviceLaunch(const LaunchRequest &req, const ThreadBlock &parent,
@@ -110,7 +147,7 @@ class Gpu : public SmxCallbacks, public DispatchContext
     void noteSmxDrained(SmxId id);
 
     // --- Event-driven core (DESIGN.md §11) ---
-    void runEventLoop(Cycle max_cycles);
+    void runEventLoop(Cycle max_cycles, Cycle stop = kNoCycle);
     void armFrontEnd(Cycle cycle);
     void armSmx(SmxId id, Cycle cycle);
     void armMaintenance(Cycle cycle);
@@ -166,6 +203,7 @@ class Gpu : public SmxCallbacks, public DispatchContext
 
     std::vector<std::pair<DispatchHook, void *>> dispatchHooks_;
     obs::ObserverHub hub_;
+    const DispatchGate *gate_ = nullptr;
 };
 
 } // namespace laperm

@@ -11,7 +11,8 @@ Kdu::Kdu(std::uint32_t entries) : entries_(entries)
 
 KernelInstance *
 Kdu::admitKernel(std::uint32_t function_id, std::uint32_t threads_per_tb,
-                 std::uint32_t total_tbs, bool is_device, Cycle now)
+                 std::uint32_t total_tbs, bool is_device, Cycle now,
+                 std::uint32_t tenant)
 {
     laperm_assert(hasFreeEntry(), "KDU admission with no free entry");
     ++occupied_;
@@ -22,6 +23,7 @@ Kdu::admitKernel(std::uint32_t function_id, std::uint32_t threads_per_tb,
     k.threadsPerTb = threads_per_tb;
     k.totalTbs = total_tbs;
     k.isDevice = is_device;
+    k.tenant = tenant;
     k.admitCycle = now;
     return &k;
 }
@@ -57,11 +59,11 @@ Kdu::tbFinished(KernelInstance *kernel)
 
 KernelInstance *
 Kdu::findMatch(std::uint32_t function_id,
-               std::uint32_t threads_per_tb) const
+               std::uint32_t threads_per_tb, std::uint32_t tenant) const
 {
     for (const auto &k : kernels_) {
         if (!k.complete() && k.functionId == function_id &&
-            k.threadsPerTb == threads_per_tb) {
+            k.threadsPerTb == threads_per_tb && k.tenant == tenant) {
             return const_cast<KernelInstance *>(&k);
         }
     }

@@ -30,6 +30,8 @@ struct KernelInstance
     std::uint32_t dispatchedTbs = 0;
     std::uint32_t finishedTbs = 0;
     bool isDevice = false;
+    /** Owning tenant stream; children inherit their parent's tenant. */
+    std::uint32_t tenant = 0;
     Cycle admitCycle = 0;
 
     bool complete() const
@@ -58,7 +60,7 @@ class Kdu
     KernelInstance *admitKernel(std::uint32_t function_id,
                                 std::uint32_t threads_per_tb,
                                 std::uint32_t total_tbs, bool is_device,
-                                Cycle now);
+                                Cycle now, std::uint32_t tenant = 0);
 
     /**
      * Append @p count TBs to @p kernel (DTBL coalescing).
@@ -74,10 +76,12 @@ class Kdu
 
     /**
      * Find a running, still-coalescable kernel matching a DTBL group's
-     * configuration; nullptr if none.
+     * configuration and tenant; nullptr if none. Groups never coalesce
+     * across tenants — accounting attributes every TB to one stream.
      */
     KernelInstance *findMatch(std::uint32_t function_id,
-                              std::uint32_t threads_per_tb) const;
+                              std::uint32_t threads_per_tb,
+                              std::uint32_t tenant = 0) const;
 
     /** Kernels ever admitted (monotonic id source). */
     std::uint64_t kernelsAdmitted() const { return nextId_; }

@@ -84,6 +84,9 @@ class Smx
         return static_cast<std::uint32_t>(residentTbs_.size());
     }
 
+    /** Threads of all resident TBs (the occupancy numerator). */
+    std::uint32_t threadsUsed() const { return threadsUsed_; }
+
     /** Current TB-residency cap (== maxTbsPerSmx unless throttled). */
     std::uint32_t effectiveMaxTbs() const { return effectiveMaxTbs_; }
 

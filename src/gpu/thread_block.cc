@@ -22,6 +22,7 @@ buildThreadBlockInto(ThreadBlock &tb, const KernelProgram &program,
     tb.priority = 0;
     tb.directParent = kNoTb;
     tb.isDynamic = false;
+    tb.tenant = 0;
     tb.numThreads = threads_per_tb;
     tb.regs = program.regsPerThread() * threads_per_tb;
     tb.smem = program.smemPerTb();

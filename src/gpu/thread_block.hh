@@ -37,6 +37,8 @@ class ThreadBlock
     TbUid directParent = kNoTb;
     /** True for dynamically launched (child) TBs. */
     bool isDynamic = false;
+    /** Owning tenant stream, inherited from the dispatch unit. */
+    std::uint32_t tenant = 0;
 
     std::uint32_t numThreads = 0;
     std::uint32_t regs = 0; ///< registers reserved on the SMX

@@ -204,6 +204,16 @@ runMatrixPreset(const std::vector<std::string> &names,
     // handles LAPERM_TICK_MODE; the preset must not undo it).
     const GpuConfig base_machine = presetConfig(preset);
 
+    // Same early-fatal discipline for the workload axis: an unknown
+    // name (e.g. a typo in a tenant/mix spec routed here) dies with
+    // the structured known-names error, never a mid-sweep surprise.
+    for (const std::string &name : names) {
+        if (!isKnownWorkload(name)) {
+            laperm_fatal("unknown workload '%s' (known: %s)",
+                         name.c_str(), workloadNameList().c_str());
+        }
+    }
+
     const std::string path = sweepCachePath(preset, scale, seed);
     std::vector<RunResult> results;
     if (use_cache && loadCache(path, preset, names, results))

@@ -46,6 +46,8 @@ struct LaunchRequest
     std::shared_ptr<const KernelProgram> program;
     std::uint32_t numTbs = 1;
     std::uint32_t threadsPerTb = kWarpSize;
+    /** Owning tenant stream (0 = the default single-tenant stream). */
+    std::uint32_t tenant = 0;
 };
 
 } // namespace laperm

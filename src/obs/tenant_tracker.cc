@@ -1,0 +1,65 @@
+#include "obs/tenant_tracker.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+namespace obs {
+
+namespace {
+const TenantCounters kZeroCounters{};
+} // namespace
+
+TenantCounters &
+TenantTracker::slot(std::uint32_t tenant)
+{
+    if (tenant >= perTenant_.size())
+        perTenant_.resize(tenant + 1);
+    return perTenant_[tenant];
+}
+
+const TenantCounters &
+TenantTracker::counters(std::uint32_t tenant) const
+{
+    if (tenant >= perTenant_.size())
+        return kZeroCounters;
+    return perTenant_[tenant];
+}
+
+void
+TenantTracker::onTbDispatch(const TbEvent &e)
+{
+    ++slot(e.tenant).dispatchedTbs;
+}
+
+void
+TenantTracker::onTbRetire(const TbEvent &e)
+{
+    TenantCounters &c = slot(e.tenant);
+    ++c.retiredTbs;
+    laperm_assert(c.outstandingTbs > 0, "tenant retired-TB underflow");
+    --c.outstandingTbs;
+    if (c.outstandingTbs == 0 && c.pendingLaunches == 0)
+        c.lastDrainCycle = e.cycle;
+}
+
+void
+TenantTracker::onLaunchQueued(const LaunchEvent &e)
+{
+    ++slot(e.tenant).pendingLaunches;
+}
+
+void
+TenantTracker::onLaunchAdmitted(const LaunchEvent &e)
+{
+    TenantCounters &c = slot(e.tenant);
+    c.outstandingTbs += e.numTbs;
+    ++c.kernelsAdmitted;
+    if (e.isDevice) {
+        laperm_assert(c.pendingLaunches > 0,
+                      "tenant pending-launch underflow");
+        --c.pendingLaunches;
+    }
+}
+
+} // namespace obs
+} // namespace laperm

@@ -44,6 +44,8 @@ struct DispatchUnit
 
     /** Priority level: 0 = host kernel, children = parent + 1 (<= L). */
     std::uint32_t priority = 0;
+    /** Owning tenant stream (inherited by device-launched children). */
+    std::uint32_t tenant = 0;
     /** Direct parent TB uid (kNoTb for host kernels). */
     TbUid directParent = kNoTb;
     /** SMX that executed the direct parent (binding target). */

@@ -45,7 +45,8 @@ PriorityQueues::prune(std::uint32_t level)
 }
 
 DispatchUnit *
-PriorityQueues::front(Cycle now, bool &blocked_out)
+PriorityQueues::front(Cycle now, bool &blocked_out,
+                      const DispatchGate *gate)
 {
     blocked_out = false;
     for (std::uint32_t level = static_cast<std::uint32_t>(levels_.size());
@@ -54,16 +55,35 @@ PriorityQueues::front(Cycle now, bool &blocked_out)
         auto &q = levels_[level];
         if (q.empty())
             continue;
-        DispatchUnit *unit = q.front();
-        if (unit->readyAt > now) {
-            // Still in flight from the overflow buffer: not visible to
-            // the dispatcher yet, so lower levels may proceed. Entries
-            // within a level are FIFO, so a delayed head implies the
-            // whole level is delayed.
-            blocked_out = true;
-            continue;
+        if (!gate) {
+            DispatchUnit *unit = q.front();
+            if (unit->readyAt > now) {
+                // Still in flight from the overflow buffer: not visible
+                // to the dispatcher yet, so lower levels may proceed.
+                // Entries within a level are FIFO, so a delayed head
+                // implies the whole level is delayed.
+                blocked_out = true;
+                continue;
+            }
+            return unit;
         }
-        return unit;
+        // Gated scan: the first live ungated entry is the level's only
+        // candidate — FIFO is preserved among each tenant's own
+        // entries, gated tenants are passed over like not-yet-ready
+        // ones. Mid-queue exhausted entries (possible once non-head
+        // units dispatch) are skipped and reclaimed by prune() when
+        // they reach the front.
+        for (DispatchUnit *unit : q) {
+            if (unit->exhausted())
+                continue;
+            if (gate->blocked(unit->tenant))
+                continue;
+            if (unit->readyAt > now) {
+                blocked_out = true;
+                break; // delayed head of the ungated sub-queue
+            }
+            return unit;
+        }
     }
     return nullptr;
 }

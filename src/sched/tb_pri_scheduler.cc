@@ -35,7 +35,7 @@ bool
 TbPriScheduler::dispatchOne(Cycle now)
 {
     bool blocked = false;
-    DispatchUnit *unit = queues_.front(now, blocked);
+    DispatchUnit *unit = queues_.front(now, blocked, ctx_.gate());
     if (!unit)
         return false;
     const std::uint32_t n = ctx_.numSmx();

@@ -13,6 +13,7 @@
 #include "common/types.hh"
 #include "sched/dispatch_unit.hh"
 #include "sim/config.hh"
+#include "sim/dispatch_gate.hh"
 #include "sim/stats.hh"
 
 namespace laperm {
@@ -39,6 +40,13 @@ class DispatchContext
 
     /** Observability fan-out (DESIGN.md §8); policies may emit into it. */
     virtual obs::ObserverHub &observers() = 0;
+
+    /**
+     * Tenant dispatch gate, or nullptr when ungated (the single-tenant
+     * default). Schedulers skip units whose tenant the gate blocks,
+     * exactly as they skip units that are not yet ready.
+     */
+    virtual const DispatchGate *gate() const { return nullptr; }
 };
 
 /**

@@ -68,6 +68,10 @@ parseScale(const std::string &s, Scale &out)
         out = Scale::Full;
         return true;
     }
+    if (s == "huge") {
+        out = Scale::Huge;
+        return true;
+    }
     return false;
 }
 
@@ -121,6 +125,8 @@ wireScale(Scale s)
         return "small";
     case Scale::Full:
         return "full";
+    case Scale::Huge:
+        return "huge";
     }
     return "small";
 }
@@ -192,7 +198,7 @@ SimRequest::fromJson(const JsonObject &obj, SimRequest &out,
             }
         } else if (key == "scale") {
             if (!getString(obj, key, s) || !parseScale(s, r.scale)) {
-                err = "'scale' must be tiny|small|full";
+                err = "'scale' must be tiny|small|full|huge";
                 return false;
             }
         } else if (key == "warp_sched") {
@@ -260,7 +266,8 @@ SimRequest::validate(std::string &err) const
 {
     const std::vector<std::string> &names = workloadNames();
     if (std::find(names.begin(), names.end(), workload) == names.end()) {
-        err = "unknown workload '" + workload + "'";
+        err = "unknown workload '" + workload + "' (known: " +
+              workloadNameList() + ")";
         return false;
     }
     const std::string cfgErr = cfg.check();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tenant-level dispatch gating interface. The multi-tenant preemption
+ * machinery (src/tenant/) yields a low-priority tenant's pending TBs at
+ * TB boundaries by gating its dispatch units; the TB schedulers consult
+ * the gate and skip gated units exactly as they skip not-yet-ready
+ * ones. The header lives in sim/ — below sched/ — so schedulers can
+ * consume the interface without the engine ever including tenant/ (the
+ * same inversion as sim/observer.hh, enforced by layering.toml).
+ *
+ * With no gate installed (the single-tenant case) every scheduler path
+ * is byte-identical to the ungated code: the nullptr check is the only
+ * added work.
+ */
+
+#ifndef LAPERM_SIM_DISPATCH_GATE_HH
+#define LAPERM_SIM_DISPATCH_GATE_HH
+
+#include <cstdint>
+
+namespace laperm {
+
+/**
+ * Decides, per tenant, whether TB dispatch is currently yielded.
+ * Implementations must be deterministic functions of simulated state:
+ * the gate is consulted on the dispatch hot path and any wall-clock or
+ * RNG dependence would break byte-identical replay. The gate only ever
+ * changes between scheduler visits (the TenantManager flips it between
+ * run slices and then calls Gpu::noteDispatchGateChanged), never inside
+ * one.
+ */
+class DispatchGate
+{
+  public:
+    virtual ~DispatchGate() = default;
+
+    /** True when @p tenant's pending TBs must not be dispatched now. */
+    virtual bool blocked(std::uint32_t tenant) const = 0;
+};
+
+} // namespace laperm
+
+#endif // LAPERM_SIM_DISPATCH_GATE_HH

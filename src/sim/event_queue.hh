@@ -92,6 +92,14 @@ class EventQueue
     /** Cycle of the most recently popped event (0 before any pop). */
     Cycle lastPopCycle() const { return lastPop_; }
 
+    /**
+     * Drop every pending event. Used when the device jumps forward over
+     * an idle gap (Gpu::advanceTo): orphaned entries from the drained
+     * run would otherwise surface as batch times in the past. lastPop_
+     * is retained — the monotone-pop invariant spans the jump.
+     */
+    void clear() { heap_.clear(); }
+
   private:
     /** Strict weak ordering: a after b in pop order. */
     struct After

@@ -40,6 +40,7 @@ struct TbEvent
     bool isDynamic = false;
     TbUid directParent = kNoTb;
     Cycle dispatchCycle = 0;  ///< == cycle for dispatches
+    std::uint32_t tenant = 0; ///< owning tenant stream
 };
 
 /**
@@ -58,6 +59,7 @@ struct LaunchEvent
     bool coalesced = false;   ///< DTBL group merged onto a running kernel
     Cycle queuedAt = 0;       ///< when the launch op reached the KMU
     Cycle latencyReadyAt = 0; ///< queuedAt + modeled launch latency
+    std::uint32_t tenant = 0; ///< owning tenant stream
 };
 
 /** An Adaptive-Bind stage-3 event (Figure 6). */

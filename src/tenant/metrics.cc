@@ -1,0 +1,120 @@
+#include "tenant/metrics.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace laperm {
+namespace tenant {
+
+Cycle
+percentileNearestRank(std::vector<Cycle> samples, std::uint32_t pct)
+{
+    if (samples.empty())
+        return 0;
+    laperm_assert(pct >= 1 && pct <= 100, "percentile out of range");
+    std::sort(samples.begin(), samples.end());
+    // Nearest rank: ceil(pct/100 * N), computed in integers.
+    const std::uint64_t n = samples.size();
+    std::uint64_t rank = (static_cast<std::uint64_t>(pct) * n + 99) / 100;
+    if (rank == 0)
+        rank = 1;
+    return samples[rank - 1];
+}
+
+double
+jainIndex(const std::vector<std::uint64_t> &progress)
+{
+    if (progress.empty())
+        return 0.0;
+    // Integer sums; the single division happens once at the end, so
+    // identical entries give exactly (n*x)^2 / (n * n*x^2) == 1.0.
+    std::uint64_t sum = 0;
+    std::uint64_t sumSq = 0;
+    for (std::uint64_t x : progress) {
+        sum += x;
+        sumSq += x * x;
+    }
+    if (sumSq == 0)
+        return 0.0;
+    const double num = static_cast<double>(sum) * static_cast<double>(sum);
+    const double den = static_cast<double>(progress.size()) *
+                       static_cast<double>(sumSq);
+    return num / den;
+}
+
+MixMetrics
+computeMixMetrics(const MultiTenantResult &shared,
+                  const std::vector<TenantRunResult> &solo)
+{
+    laperm_assert(shared.perTenant.size() == solo.size(),
+                  "solo baselines must be index-aligned with tenants");
+
+    MixMetrics out;
+    out.makespan = shared.makespan;
+
+    std::vector<std::uint64_t> progress;
+    double anttSum = 0.0;
+    for (std::size_t i = 0; i < shared.perTenant.size(); ++i) {
+        const TenantRunResult &sh = shared.perTenant[i];
+        const TenantRunResult &so = solo[i];
+        laperm_assert(sh.jobTurnarounds.size() == so.jobTurnarounds.size(),
+                      "shared and solo runs completed different job "
+                      "counts for tenant '%s'",
+                      sh.name.c_str());
+
+        TenantMetrics tm;
+        tm.name = sh.name;
+        tm.tenant = sh.tenant;
+        tm.retiredTbs = sh.retiredTbs;
+        tm.jobs = static_cast<std::uint32_t>(sh.jobTurnarounds.size());
+
+        // ANTT_i: mean over jobs of TT_shared / TT_solo. Each ratio is
+        // one integer-over-integer division, so a solo-vs-itself run is
+        // exactly 1.0 per job and exactly 1.0 after the mean.
+        double ratioSum = 0.0;
+        for (std::size_t j = 0; j < sh.jobTurnarounds.size(); ++j) {
+            const std::uint64_t tShared = sh.jobTurnarounds[j];
+            const std::uint64_t tSolo = so.jobTurnarounds[j];
+            laperm_assert(tSolo > 0, "zero solo turnaround");
+            // Fixed job order, end-of-run only. sim-lint: allow(fp-accum)
+            ratioSum += static_cast<double>(tShared) /
+                        static_cast<double>(tSolo);
+        }
+        tm.antt = sh.jobTurnarounds.empty()
+                      ? 0.0
+                      : ratioSum /
+                            static_cast<double>(sh.jobTurnarounds.size());
+
+        tm.p50 = percentileNearestRank(sh.waveLatencies, 50);
+        tm.p95 = percentileNearestRank(sh.waveLatencies, 95);
+        tm.p99 = percentileNearestRank(sh.waveLatencies, 99);
+
+        // STP term: total solo work time over total shared work time —
+        // this tenant's effective speedup under sharing (<= 1).
+        std::uint64_t totShared = 0;
+        std::uint64_t totSolo = 0;
+        for (Cycle t : sh.jobTurnarounds)
+            totShared += t;
+        for (Cycle t : so.jobTurnarounds)
+            totSolo += t;
+        if (totShared > 0) {
+            out.stp += static_cast<double>(totSolo) /
+                       static_cast<double>(totShared);
+        }
+
+        // Fixed tenant order, end-of-run only. sim-lint: allow(fp-accum)
+        anttSum += tm.antt;
+        progress.push_back(sh.retiredTbs);
+        out.perTenant.push_back(std::move(tm));
+    }
+
+    out.antt = out.perTenant.empty()
+                   ? 0.0
+                   : anttSum / static_cast<double>(out.perTenant.size());
+    out.jain = jainIndex(progress);
+    return out;
+}
+
+} // namespace tenant
+} // namespace laperm

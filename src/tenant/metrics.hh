@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Multi-tenant fairness and tail-latency metrics (DESIGN.md §14).
+ *
+ * The raw material is integer simulated cycles collected per tenant by
+ * the manager: job turnaround times (job completion - job arrival) and
+ * wave-completion latencies (wave drain - wave launch). The shared run
+ * is compared against per-tenant solo baselines (same stream run alone
+ * on the same device) to produce:
+ *
+ *  - ANTT  — average normalized turnaround time: per tenant the mean
+ *    over jobs of TT_shared / TT_solo, 1.0 when sharing costs nothing
+ *    (Eyerman & Eeckhout throughput/turnaround methodology).
+ *  - STP   — system throughput: sum over tenants of
+ *    (total TT_solo / total TT_shared), N when sharing is free.
+ *  - Jain  — Jain fairness index over per-tenant retired-TB progress,
+ *    1.0 when every tenant made identical progress.
+ *  - p50/p95/p99 — nearest-rank percentiles of per-tenant wave
+ *    completion latency, in simulated cycles.
+ *
+ * All accumulation is integer; doubles appear only in the final ratio
+ * computations, never in cycle arithmetic.
+ */
+
+#ifndef LAPERM_TENANT_METRICS_HH
+#define LAPERM_TENANT_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace laperm {
+namespace tenant {
+
+/** What one tenant stream measured during one run (shared or solo). */
+struct TenantRunResult
+{
+    std::string name;
+    std::uint32_t tenant = 0;
+    /** Per-job turnaround: completion - arrival, simulated cycles. */
+    std::vector<Cycle> jobTurnarounds;
+    /** Per-wave completion latency: drain - launch, simulated cycles. */
+    std::vector<Cycle> waveLatencies;
+    /** Retired-TB progress over the run (the Jain input). */
+    std::uint64_t retiredTbs = 0;
+    std::uint64_t dispatchedTbs = 0;
+    std::uint64_t kernelsAdmitted = 0;
+};
+
+/** One full run of a mix: every tenant plus the makespan. */
+struct MultiTenantResult
+{
+    std::vector<TenantRunResult> perTenant;
+    /** Cycle the last tenant drained. */
+    Cycle makespan = 0;
+};
+
+/** Finalized per-tenant metrics. */
+struct TenantMetrics
+{
+    std::string name;
+    std::uint32_t tenant = 0;
+    /** Mean over jobs of TT_shared / TT_solo (1.0 when run solo). */
+    double antt = 0.0;
+    Cycle p50 = 0; ///< median wave-completion latency
+    Cycle p95 = 0;
+    Cycle p99 = 0;
+    std::uint64_t retiredTbs = 0;
+    std::uint32_t jobs = 0;
+};
+
+/** Finalized mix-level metrics. */
+struct MixMetrics
+{
+    std::vector<TenantMetrics> perTenant;
+    /** Mean of the per-tenant ANTT values (lower is better, >= ~1). */
+    double antt = 0.0;
+    /** System throughput, sum of per-tenant solo/shared speedups. */
+    double stp = 0.0;
+    /** Jain fairness over per-tenant retired-TB progress. */
+    double jain = 0.0;
+    Cycle makespan = 0;
+};
+
+/**
+ * Nearest-rank percentile: element ceil(p/100 * N) - 1 of the sorted
+ * copy of @p samples. Pure integer selection — no interpolation, so
+ * the result is always an observed latency. Returns 0 on empty input.
+ */
+Cycle percentileNearestRank(std::vector<Cycle> samples,
+                            std::uint32_t pct);
+
+/**
+ * Jain fairness index (sum x)^2 / (n * sum x^2) over @p progress.
+ * Exactly 1.0 for identical nonzero entries; 0 for empty/all-zero.
+ */
+double jainIndex(const std::vector<std::uint64_t> &progress);
+
+/**
+ * Fold a shared run and its per-tenant solo baselines into MixMetrics.
+ * @p solo holds one entry per tenant, index-aligned with
+ * @p shared.perTenant; each must have the same jobTurnarounds count as
+ * its shared counterpart (the streams are deterministic, so solo and
+ * shared runs always complete the same jobs).
+ */
+MixMetrics computeMixMetrics(const MultiTenantResult &shared,
+                             const std::vector<TenantRunResult> &solo);
+
+} // namespace tenant
+} // namespace laperm
+
+#endif // LAPERM_TENANT_METRICS_HH

@@ -1,0 +1,121 @@
+#include "tenant/mixes.hh"
+
+#include "common/log.hh"
+
+namespace laperm {
+namespace tenant {
+
+namespace {
+
+TenantSpec
+stream(const char *name, const char *workload, std::uint32_t priority,
+       Cycle first_arrival, Cycle period, std::uint32_t jobs)
+{
+    TenantSpec t;
+    t.name = name;
+    t.workload = workload;
+    t.scale = Scale::Tiny;
+    t.priority = priority;
+    t.firstArrival = first_arrival;
+    t.period = period;
+    t.jobs = jobs;
+    return t;
+}
+
+/**
+ * duo: the minimal contention pair — a latency-sensitive irregular
+ * graph stream against a throughput batch stream that arrives mid-run.
+ */
+MixSpec
+makeDuo()
+{
+    MixSpec m;
+    m.name = "duo";
+    m.tenants.push_back(stream("graph", "bfs-citation", 0, 0, 60000, 2));
+    m.tenants.push_back(stream("batch", "join-uniform", 1, 5000, 80000, 2));
+    return m;
+}
+
+/**
+ * quad: two priority classes, two streams each. The high class mixes
+ * control-divergent traversal with pointer-heavy coloring; the low
+ * class supplies steady background TB pressure.
+ */
+MixSpec
+makeQuad()
+{
+    MixSpec m;
+    m.name = "quad";
+    m.tenants.push_back(stream("bfs", "bfs-citation", 0, 0, 90000, 2));
+    m.tenants.push_back(stream("clr", "clr-citation", 0, 8000, 90000, 2));
+    m.tenants.push_back(stream("join", "join-uniform", 1, 3000, 0, 1));
+    m.tenants.push_back(stream("regx", "regx-strings", 1, 12000, 0, 1));
+    return m;
+}
+
+/**
+ * octo: eight streams across three priority classes — the saturation
+ * point where admission control and preemption both have to act.
+ */
+MixSpec
+makeOcto()
+{
+    MixSpec m;
+    m.name = "octo";
+    m.tenants.push_back(stream("bfs0", "bfs-citation", 0, 0, 120000, 2));
+    m.tenants.push_back(stream("sssp", "sssp-citation", 0, 6000, 0, 1));
+    m.tenants.push_back(stream("clr0", "clr-citation", 1, 2000, 0, 1));
+    m.tenants.push_back(stream("bht", "bht-points", 1, 9000, 0, 1));
+    m.tenants.push_back(stream("pre", "pre-movielens", 1, 15000, 0, 1));
+    m.tenants.push_back(stream("join", "join-gaussian", 2, 4000, 0, 1));
+    m.tenants.push_back(stream("regx", "regx-darpa", 2, 11000, 0, 1));
+    m.tenants.push_back(stream("amr", "amr-combustion", 2, 18000, 0, 1));
+    return m;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+mixNames()
+{
+    static const std::vector<std::string> names = {"duo", "quad", "octo"};
+    return names;
+}
+
+std::string
+mixNameList()
+{
+    std::string out;
+    for (const std::string &n : mixNames()) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+bool
+isBuiltinMix(const std::string &name)
+{
+    for (const std::string &n : mixNames()) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+MixSpec
+builtinMix(const std::string &name)
+{
+    if (name == "duo")
+        return makeDuo();
+    if (name == "quad")
+        return makeQuad();
+    if (name == "octo")
+        return makeOcto();
+    laperm_fatal("unknown builtin mix '%s' (known: %s)", name.c_str(),
+                 mixNameList().c_str());
+}
+
+} // namespace tenant
+} // namespace laperm

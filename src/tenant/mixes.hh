@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Builtin multi-tenant mixes (EXPERIMENTS.md contention study). Like
+ * the hardware presets (gpu/presets.hh), these are plain data returned
+ * by name: each mix is a MixSpec with deterministic cycle-based arrival
+ * schedules, so `laperm_sim --tenants duo` needs no spec file. File
+ * specs (loadMixToml) use the same structure and may override scale to
+ * "huge" for the big presets.
+ */
+
+#ifndef LAPERM_TENANT_MIXES_HH
+#define LAPERM_TENANT_MIXES_HH
+
+#include <string>
+#include <vector>
+
+#include "tenant/tenant_spec.hh"
+
+namespace laperm {
+namespace tenant {
+
+/** Names of the builtin mixes, in definition order. */
+const std::vector<std::string> &mixNames();
+
+/** Comma-separated mixNames() for error messages. */
+std::string mixNameList();
+
+/** True iff @p name is a builtin mix. */
+bool isBuiltinMix(const std::string &name);
+
+/** The builtin mix @p name; fatals on unknown names (callers route
+ *  user-supplied names through isBuiltinMix or a file path first). */
+MixSpec builtinMix(const std::string &name);
+
+} // namespace tenant
+} // namespace laperm
+
+#endif // LAPERM_TENANT_MIXES_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Online structural runtime prediction (Pai et al., PAPERS.md): a
+ * per-tenant integer EWMA of observed TB runtimes. The preemptive TB
+ * scheduler uses predicted drain cost (average TB runtime x resident
+ * TBs) to pick the cheapest victim to yield at TB boundaries.
+ *
+ * Integer-only arithmetic: the EWMA moves toward each sample by
+ * (|sample - ewma| >> shift), all in unsigned cycle math, so
+ * predictions are a deterministic function of the sample stream with
+ * no floating-point (and no signed/unsigned mixing) anywhere near
+ * cycle arithmetic.
+ */
+
+#ifndef LAPERM_TENANT_PREDICTOR_HH
+#define LAPERM_TENANT_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace laperm {
+namespace tenant {
+
+/** Integer EWMA over TB runtimes for one tenant. */
+class RuntimePredictor
+{
+  public:
+    explicit RuntimePredictor(std::uint32_t shift = 3) : shift_(shift) {}
+
+    /** Fold in one observed TB runtime (retire - dispatch cycles). */
+    void observe(Cycle runtime)
+    {
+        if (samples_ == 0) {
+            // Seed with the first sample instead of decaying from zero.
+            ewma_ = runtime;
+        } else if (runtime >= ewma_) {
+            ewma_ += (runtime - ewma_) >> shift_;
+        } else {
+            ewma_ -= (ewma_ - runtime) >> shift_;
+        }
+        ++samples_;
+    }
+
+    /** Predicted runtime of one TB (0 before any sample). */
+    Cycle predictedTbRuntime() const { return ewma_; }
+
+    /** Predicted cost of draining @p resident_tbs TBs. */
+    Cycle predictedDrain(std::uint64_t resident_tbs) const
+    {
+        return ewma_ * resident_tbs;
+    }
+
+    std::uint64_t samples() const { return samples_; }
+
+  private:
+    std::uint32_t shift_;
+    Cycle ewma_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+} // namespace tenant
+} // namespace laperm
+
+#endif // LAPERM_TENANT_PREDICTOR_HH

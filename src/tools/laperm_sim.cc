@@ -27,6 +27,16 @@
  *                       (non-default machines append a config column)
  *     --list            list workload names and exit
  *
+ * Multi-tenant mode (DESIGN.md §14) replaces the single-workload run:
+ *     --tenants SPEC    builtin mix name (duo | quad | octo) or a
+ *                       .toml mix spec file; runs the mix plus its
+ *                       per-tenant solo baselines and prints ANTT,
+ *                       STP, Jain fairness and p50/p95/p99 wave
+ *                       latency per tenant. Workload scales come from
+ *                       the spec (--scale does not apply); --policy,
+ *                       --model, --seed and the machine flags do.
+ *     --tenants-tsv FILE  also write the per-tenant rows as a TSV
+ *
  * Machine flags apply in command-line order, later flags overriding
  * earlier ones: put --preset (whole-machine) first, then --config
  * (file of overrides), then single-field flags like --smx.
@@ -54,8 +64,11 @@
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
 #include "harness/table.hh"
+#include "harness/tenant_sweep.hh"
 #include "sim/config_loader.hh"
 #include "sim/presets.hh"
+#include "tenant/mixes.hh"
+#include "tenant/tenant_manager.hh"
 #include "tools/cli_parse.hh"
 #include "workloads/registry.hh"
 
@@ -78,6 +91,9 @@ struct Options
     Cycle interval = 1000;     ///< --interval N
     std::string latencyPath;   ///< --latency-hist FILE
     std::string localityPath;  ///< --locality FILE
+    std::string tenantsSpec;   ///< --tenants SPEC (mix name or .toml)
+    std::string tenantsTsvPath; ///< --tenants-tsv FILE
+    std::string preset = "k20c"; ///< last --preset name (TSV label)
 
     bool wantsCollector() const
     {
@@ -92,7 +108,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--workload NAME|all] [--policy "
                  "rr|tbpri|smxbind|adaptive] [--model cdp|dtbl] "
-                 "[--scale tiny|small|full] [--seed N] "
+                 "[--scale tiny|small|full|huge] [--seed N] "
                  "[--preset NAME] [--config FILE] [--list-presets] "
                  "[--smx N] "
                  "[--l1-kb N] [--l2-kb N] [--levels N] "
@@ -101,7 +117,8 @@ usage(const char *argv0)
                  "[--csv] [--list] "
                  "[--trace FILE] [--trace-json FILE] "
                  "[--trace-intervals FILE] [--interval N] "
-                 "[--latency-hist FILE] [--locality FILE]\n",
+                 "[--latency-hist FILE] [--locality FILE] "
+                 "[--tenants MIX|FILE.toml] [--tenants-tsv FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -193,6 +210,91 @@ report(const Options &opt, const Workload &w, const GpuStats &s)
                 static_cast<unsigned long long>(s.kduFullStalls));
 }
 
+/**
+ * --tenants mode: resolve the mix (builtin name or .toml file), run it
+ * with solo baselines on the configured machine, print the per-tenant
+ * metrics, and optionally dump the rows as a TSV. Output is a pure
+ * function of the simulation, so dense/event runs byte-compare.
+ */
+int
+runTenants(const Options &opt)
+{
+    tenant::MixSpec mix;
+    if (tenant::isBuiltinMix(opt.tenantsSpec)) {
+        mix = tenant::builtinMix(opt.tenantsSpec);
+    } else if (opt.tenantsSpec.rfind(".toml") != std::string::npos ||
+               opt.tenantsSpec.find('/') != std::string::npos) {
+        std::string err;
+        if (!tenant::loadMixToml(opt.tenantsSpec, mix, err))
+            laperm_fatal("%s", err.c_str());
+    } else {
+        laperm_fatal("unknown mix '%s' (builtin: %s; or pass a .toml "
+                     "spec file)",
+                     opt.tenantsSpec.c_str(),
+                     tenant::mixNameList().c_str());
+    }
+
+    const tenant::MixStudy study = tenant::runMixStudy(mix, opt.cfg);
+
+    std::printf("=== mix %s  (%s, %s, seed %llu, %zu tenants)\n",
+                mix.name.c_str(), toString(opt.cfg.dynParModel),
+                toString(opt.cfg.tbPolicy),
+                static_cast<unsigned long long>(opt.cfg.seed),
+                mix.tenants.size());
+    for (std::size_t i = 0; i < study.metrics.perTenant.size(); ++i) {
+        const tenant::TenantMetrics &tm = study.metrics.perTenant[i];
+        std::printf("  tenant %-10s %-16s prio %u  jobs %u  "
+                    "ANTT %.3f  p50 %llu  p95 %llu  p99 %llu  "
+                    "retiredTbs %llu\n",
+                    tm.name.c_str(),
+                    mix.tenants[i].workload.c_str(),
+                    mix.tenants[i].priority, tm.jobs, tm.antt,
+                    static_cast<unsigned long long>(tm.p50),
+                    static_cast<unsigned long long>(tm.p95),
+                    static_cast<unsigned long long>(tm.p99),
+                    static_cast<unsigned long long>(tm.retiredTbs));
+    }
+    std::printf("  ANTT %.3f  STP %.3f  Jain %.4f  makespan %llu\n",
+                study.metrics.antt, study.metrics.stp,
+                study.metrics.jain,
+                static_cast<unsigned long long>(study.metrics.makespan));
+
+    if (!opt.tenantsTsvPath.empty()) {
+        std::vector<TenantSweepRow> rows;
+        for (const tenant::TenantMetrics &tm : study.metrics.perTenant) {
+            TenantSweepRow r;
+            r.mix = mix.name;
+            r.preset = opt.preset;
+            r.policy = opt.cfg.tbPolicy;
+            r.tenant = tm.name;
+            r.tenantId = tm.tenant;
+            r.jobs = tm.jobs;
+            r.antt = tm.antt;
+            r.p50 = tm.p50;
+            r.p95 = tm.p95;
+            r.p99 = tm.p99;
+            r.retiredTbs = tm.retiredTbs;
+            r.mixAntt = study.metrics.antt;
+            r.mixStp = study.metrics.stp;
+            r.mixJain = study.metrics.jain;
+            r.makespan = study.metrics.makespan;
+            rows.push_back(std::move(r));
+        }
+        std::FILE *f = std::fopen(opt.tenantsTsvPath.c_str(), "wb");
+        if (!f) {
+            laperm_warn("could not write tenants TSV '%s'",
+                        opt.tenantsTsvPath.c_str());
+        } else {
+            const std::string tsv = encodeTenantSweepTsv(rows);
+            std::fwrite(tsv.data(), 1, tsv.size(), f);
+            std::fclose(f);
+            std::fprintf(stderr, "tenant metrics: %s\n",
+                         opt.tenantsTsvPath.c_str());
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -230,7 +332,8 @@ main(int argc, char **argv)
             // Whole-machine replacement; the tick mode is a simulator
             // strategy, not machine geometry, so it survives.
             const TickMode tick = opt.cfg.tickMode;
-            opt.cfg = presetConfig(next_arg(i));
+            opt.preset = next_arg(i);
+            opt.cfg = presetConfig(opt.preset);
             opt.cfg.tickMode = tick;
         } else if (!std::strcmp(a, "--config")) {
             std::string err;
@@ -283,6 +386,10 @@ main(int argc, char **argv)
             opt.latencyPath = next_arg(i);
         } else if (!std::strcmp(a, "--locality")) {
             opt.localityPath = next_arg(i);
+        } else if (!std::strcmp(a, "--tenants")) {
+            opt.tenantsSpec = next_arg(i);
+        } else if (!std::strcmp(a, "--tenants-tsv")) {
+            opt.tenantsTsvPath = next_arg(i);
         } else if (!std::strcmp(a, "--csv")) {
             opt.csv = true;
         } else if (!std::strcmp(a, "--list")) {
@@ -298,6 +405,9 @@ main(int argc, char **argv)
     opt.cfg.tbPolicy = opt.policy;
     opt.cfg.seed = opt.seed;
     opt.cfg.validate();
+
+    if (!opt.tenantsSpec.empty())
+        return runTenants(opt);
 
     std::vector<std::string> names;
     if (opt.workload == "all")

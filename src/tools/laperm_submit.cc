@@ -71,7 +71,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--socket PATH] [--workload NAME] "
         "[--policy rr|tbpri|smxbind|adaptive] [--model cdp|dtbl] "
-        "[--scale tiny|small|full] [--seed N] [--preset NAME] "
+        "[--scale tiny|small|full|huge] [--seed N] [--preset NAME] "
         "[--config FILE] [--smx N] [--l1-kb N] "
         "[--l2-kb N] [--levels N] [--cdp-latency N] [--dtbl-latency N] "
         "[--warp-sched gto|lrr] [--trace-dir DIR] [--batch FILE] "
@@ -154,6 +154,13 @@ runBatch(Client &client, const std::string &path)
         }
         SimRequest req;
         if (!SimRequest::fromJson(obj, req, err)) {
+            return fail(logFormat("%s:%zu: %s", path.c_str(), lineNo,
+                                  err.c_str()));
+        }
+        // Validate locally before submitting so a bad batch line (e.g.
+        // an unknown workload) fails with the structured known-names
+        // error instead of a server round-trip per bad line.
+        if (!req.validate(err)) {
             return fail(logFormat("%s:%zu: %s", path.c_str(), lineNo,
                                   err.c_str()));
         }
@@ -303,6 +310,8 @@ main(int argc, char **argv)
                 req.scale = Scale::Small;
             else if (s == "full")
                 req.scale = Scale::Full;
+            else if (s == "huge")
+                req.scale = Scale::Huge;
             else
                 usage(argv[0]);
         } else if (!std::strcmp(a, "--seed")) {

@@ -85,7 +85,7 @@ classifyPath(const std::string &path)
     for (std::size_t i = 0; i < parts.size(); ++i) {
         const std::string &p = parts[i];
         if (p == "sim" || p == "sched" || p == "mem" || p == "gpu" ||
-            p == "dynpar" || p == "obs") {
+            p == "dynpar" || p == "obs" || p == "tenant") {
             scope.restricted = true;
         }
         if (p == "common" && i + 1 < parts.size() &&

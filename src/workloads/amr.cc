@@ -195,6 +195,9 @@ AmrWorkload::setup(Scale scale, std::uint64_t seed)
       case Scale::Small:
         d->w = d->h = 176;
         break;
+      case Scale::Huge:
+        d->w = d->h = 512;
+        break;
       default:
         d->w = d->h = 352;
         break;

@@ -200,6 +200,7 @@ BfsWorkload::setup(Scale scale, std::uint64_t seed)
     switch (scale) {
       case Scale::Tiny: max_waves = 5; break;
       case Scale::Small: max_waves = 12; break;
+      case Scale::Huge: max_waves = 24; break;
       default: max_waves = 20; break;
     }
     std::uint32_t levels = static_cast<std::uint32_t>(

@@ -194,6 +194,10 @@ BhtWorkload::setup(Scale scale, std::uint64_t seed)
         d->numBodies = 150000;
         d->gridLog2 = 8;
         break;
+      case Scale::Huge:
+        d->numBodies = 1200000;
+        d->gridLog2 = 10;
+        break;
       default:
         d->numBodies = 500000;
         d->gridLog2 = 9;

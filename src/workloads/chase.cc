@@ -98,6 +98,10 @@ ChaseWorkload::setup(Scale scale, std::uint64_t seed)
         d->numTbs = 26;
         d->steps = 5000;
         break;
+      case Scale::Huge:
+        d->numTbs = 26;
+        d->steps = 48000;
+        break;
       default:
         d->numTbs = 26;
         d->steps = 16000;

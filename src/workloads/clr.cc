@@ -186,6 +186,7 @@ ClrWorkload::setup(Scale scale, std::uint64_t seed)
     switch (scale) {
       case Scale::Tiny: max_waves = 4; break;
       case Scale::Small: max_waves = 8; break;
+      case Scale::Huge: max_waves = 16; break;
       default: max_waves = 12; break;
     }
 

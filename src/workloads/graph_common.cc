@@ -47,6 +47,12 @@ buildGraphInput(const std::string &input, Scale scale, std::uint64_t seed)
         deg = 16;
         band = 4096;
         break;
+      case Scale::Huge:
+        n = 500000;
+        rmat_scale = 18;
+        deg = 16;
+        band = 8192;
+        break;
       default:
         n = 3000;
         rmat_scale = 11;

@@ -205,6 +205,10 @@ JoinWorkload::setup(Scale scale, std::uint64_t seed)
         d->numR = d->numS = 200000;
         d->buckets = 4096;
         break;
+      case Scale::Huge:
+        d->numR = d->numS = 1500000;
+        d->buckets = 16384;
+        break;
       default:
         d->numR = d->numS = 600000;
         d->buckets = 8192;

@@ -173,6 +173,11 @@ PreWorkload::setup(Scale scale, std::uint64_t seed)
         d->numItems = 6000;
         avg_ratings = 24;
         break;
+      case Scale::Huge:
+        d->numUsers = 250000;
+        d->numItems = 40000;
+        avg_ratings = 32;
+        break;
       default:
         d->numUsers = 100000;
         d->numItems = 16000;

@@ -66,7 +66,30 @@ createWorkload(const std::string &name)
         return std::make_unique<JoinWorkload>(input);
     if (app == "sssp")
         return std::make_unique<SsspWorkload>(input);
-    laperm_fatal("unknown workload '%s'", name.c_str());
+    laperm_fatal("unknown workload '%s' (known: %s)", name.c_str(),
+                 workloadNameList().c_str());
+}
+
+bool
+isKnownWorkload(const std::string &name)
+{
+    for (const auto &known : workloadNames()) {
+        if (known == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+workloadNameList()
+{
+    std::string out;
+    for (const auto &name : workloadNames()) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
 }
 
 std::vector<std::string>

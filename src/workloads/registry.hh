@@ -23,6 +23,12 @@ std::unique_ptr<Workload> createWorkload(const std::string &name);
 /** Names filtered to one application, e.g. "bfs". */
 std::vector<std::string> workloadNamesForApp(const std::string &app);
 
+/** Whether @p name is a Table II instance (chase-* is intentionally not). */
+bool isKnownWorkload(const std::string &name);
+
+/** Comma-separated Table II names for structured unknown-name errors. */
+std::string workloadNameList();
+
 } // namespace laperm
 
 #endif // LAPERM_WORKLOADS_REGISTRY_HH

@@ -128,6 +128,7 @@ RegxWorkload::setup(Scale scale, std::uint64_t seed)
     switch (scale) {
       case Scale::Tiny: d->numPackets = 600; break;
       case Scale::Small: d->numPackets = 48000; break;
+      case Scale::Huge: d->numPackets = 160000; break;
       default: d->numPackets = 64000; break;
     }
 

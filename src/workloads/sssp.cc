@@ -175,6 +175,7 @@ SsspWorkload::setup(Scale scale, std::uint64_t seed)
     switch (scale) {
       case Scale::Tiny: max_rounds = 4; break;
       case Scale::Small: max_rounds = 8; break;
+      case Scale::Huge: max_rounds = 18; break;
       default: max_rounds = 14; break;
     }
     data->result =

@@ -15,6 +15,7 @@ toString(Scale scale)
       case Scale::Tiny: return "tiny";
       case Scale::Small: return "small";
       case Scale::Full: return "full";
+      case Scale::Huge: return "huge";
     }
     return "?";
 }
@@ -31,8 +32,18 @@ scaleFromString(const std::string &name)
         return Scale::Small;
     if (s == "full")
         return Scale::Full;
-    laperm_fatal("unknown scale '%s' (want tiny|small|full)",
+    if (s == "huge")
+        return Scale::Huge;
+    laperm_fatal("unknown scale '%s' (want tiny|small|full|huge)",
                  name.c_str());
+}
+
+void
+WorkloadBase::setMemoryBase(Addr base)
+{
+    laperm_assert(waves_.empty() && mem_.regions().empty(),
+                  "setMemoryBase must precede setup()");
+    mem_ = BumpAllocator(base);
 }
 
 Scale

@@ -25,11 +25,12 @@ enum class Scale
     Tiny,  ///< unit tests: milliseconds of simulation
     Small, ///< bench default: seconds per simulation
     Full,  ///< closest to the paper's inputs (slow)
+    Huge,  ///< sized for the big presets (p100/v100 actually loaded)
 };
 
 const char *toString(Scale scale);
 
-/** Parse "tiny"/"small"/"full" (case-insensitive); fatal on error. */
+/** Parse "tiny"/"small"/"full"/"huge" (case-insensitive); fatal on error. */
 Scale scaleFromString(const std::string &name);
 
 /** Scale selected by the LAPERM_SCALE environment variable (or @p def). */
@@ -59,6 +60,14 @@ class Workload
     virtual void setup(Scale scale, std::uint64_t seed) = 0;
 
     /**
+     * Rebase the simulated address space before setup() (multi-tenant
+     * runs give each tenant a disjoint slice so co-resident workloads
+     * never alias in the shared caches). Calling after setup() is a
+     * programming error.
+     */
+    virtual void setMemoryBase(Addr base) = 0;
+
+    /**
      * Host kernel launches in order; each wave is synchronized (the
      * next host launch waits for the previous wave and all of its
      * dynamic children), matching the benchmarks' host loops.
@@ -77,6 +86,8 @@ class WorkloadBase : public Workload
     {
         return waves_;
     }
+
+    void setMemoryBase(Addr base) override;
 
     std::size_t footprintBytes() const override
     {

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "tenant/metrics.hh"
+#include "tenant/predictor.hh"
+
+using namespace laperm;
+using namespace laperm::tenant;
+
+TEST(TenantMetrics, JainIsExactlyOneForIdenticalTenants)
+{
+    // Identical progress must finalize to exactly 1.0, not 0.999...:
+    // the sums stay integer and the single division is (n*x)^2 over
+    // n * n * x^2.
+    EXPECT_EQ(jainIndex({7, 7, 7, 7}), 1.0);
+    EXPECT_EQ(jainIndex({123456789, 123456789}), 1.0);
+    EXPECT_EQ(jainIndex({1}), 1.0);
+}
+
+TEST(TenantMetrics, JainPenalizesSkew)
+{
+    const double skewed = jainIndex({100, 1});
+    EXPECT_LT(skewed, 1.0);
+    EXPECT_GT(skewed, 0.0);
+    // n tenants, one hog: index approaches 1/n.
+    EXPECT_NEAR(jainIndex({1000, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(TenantMetrics, JainDegenerateInputs)
+{
+    EXPECT_EQ(jainIndex({}), 0.0);
+    EXPECT_EQ(jainIndex({0, 0, 0}), 0.0);
+}
+
+TEST(TenantMetrics, PercentileNearestRank)
+{
+    const std::vector<Cycle> v = {50, 10, 40, 20, 30};
+    // Nearest rank over the sorted {10,20,30,40,50}: ceil(p/100*5).
+    EXPECT_EQ(percentileNearestRank(v, 50), 30u);
+    EXPECT_EQ(percentileNearestRank(v, 95), 50u);
+    EXPECT_EQ(percentileNearestRank(v, 99), 50u);
+    EXPECT_EQ(percentileNearestRank(v, 1), 10u);
+    EXPECT_EQ(percentileNearestRank(v, 100), 50u);
+    EXPECT_EQ(percentileNearestRank({}, 50), 0u);
+    // Always an observed sample, never interpolated.
+    EXPECT_EQ(percentileNearestRank({10, 20}, 50), 10u);
+    EXPECT_EQ(percentileNearestRank({10, 20}, 51), 20u);
+}
+
+TEST(TenantMetrics, PercentilesAreMonotone)
+{
+    std::vector<Cycle> v;
+    for (Cycle i = 0; i < 101; ++i)
+        v.push_back(i * 7 + (i % 3));
+    const Cycle p50 = percentileNearestRank(v, 50);
+    const Cycle p95 = percentileNearestRank(v, 95);
+    const Cycle p99 = percentileNearestRank(v, 99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+}
+
+namespace {
+
+TenantRunResult
+makeRun(const std::string &name, std::uint32_t tenant,
+        std::vector<Cycle> turnarounds, std::uint64_t retired)
+{
+    TenantRunResult r;
+    r.name = name;
+    r.tenant = tenant;
+    r.jobTurnarounds = std::move(turnarounds);
+    r.waveLatencies = r.jobTurnarounds;
+    r.retiredTbs = retired;
+    return r;
+}
+
+} // namespace
+
+TEST(TenantMetrics, AnttIsExactlyOneWhenSharedEqualsSolo)
+{
+    // The solo-baseline degenerate case: a run compared against itself
+    // must come out at exactly ANTT 1.0 and STP n.
+    MultiTenantResult shared;
+    shared.perTenant.push_back(makeRun("a", 0, {1000, 3000}, 10));
+    shared.perTenant.push_back(makeRun("b", 1, {777}, 10));
+    shared.makespan = 4000;
+
+    const MixMetrics m =
+        computeMixMetrics(shared, shared.perTenant);
+    ASSERT_EQ(m.perTenant.size(), 2u);
+    EXPECT_EQ(m.perTenant[0].antt, 1.0);
+    EXPECT_EQ(m.perTenant[1].antt, 1.0);
+    EXPECT_EQ(m.antt, 1.0);
+    EXPECT_EQ(m.stp, 2.0);
+    EXPECT_EQ(m.jain, 1.0);
+    EXPECT_EQ(m.makespan, 4000u);
+}
+
+TEST(TenantMetrics, AnttAndStpReflectSlowdown)
+{
+    MultiTenantResult shared;
+    shared.perTenant.push_back(makeRun("a", 0, {2000}, 30));
+    std::vector<TenantRunResult> solo = {makeRun("a", 0, {1000}, 30)};
+
+    const MixMetrics m = computeMixMetrics(shared, solo);
+    EXPECT_EQ(m.perTenant[0].antt, 2.0); // shared twice as slow
+    EXPECT_EQ(m.stp, 0.5);               // half the solo throughput
+}
+
+TEST(TenantMetrics, PerTenantPercentilesComeFromWaveLatencies)
+{
+    MultiTenantResult shared;
+    TenantRunResult r = makeRun("a", 0, {100}, 5);
+    r.waveLatencies = {40, 10, 30, 20, 50};
+    shared.perTenant.push_back(r);
+    std::vector<TenantRunResult> solo = {makeRun("a", 0, {100}, 5)};
+
+    const MixMetrics m = computeMixMetrics(shared, solo);
+    EXPECT_EQ(m.perTenant[0].p50, 30u);
+    EXPECT_EQ(m.perTenant[0].p95, 50u);
+    EXPECT_EQ(m.perTenant[0].p99, 50u);
+}
+
+TEST(TenantPredictor, SeedsWithFirstSampleThenTracks)
+{
+    RuntimePredictor p(2); // shift 2: move by a quarter of the error
+    EXPECT_EQ(p.predictedTbRuntime(), 0u);
+    EXPECT_EQ(p.predictedDrain(10), 0u);
+
+    p.observe(1000);
+    EXPECT_EQ(p.predictedTbRuntime(), 1000u); // seeded, not decayed
+    p.observe(2000);
+    EXPECT_EQ(p.predictedTbRuntime(), 1250u); // 1000 + (1000 >> 2)
+    p.observe(250);
+    EXPECT_EQ(p.predictedTbRuntime(), 1000u); // 1250 - (1000 >> 2)
+    EXPECT_EQ(p.predictedDrain(4), 4000u);
+    EXPECT_EQ(p.samples(), 3u);
+}
+
+TEST(TenantPredictor, ConvergesToConstantStream)
+{
+    RuntimePredictor p(3);
+    for (int i = 0; i < 100; ++i)
+        p.observe(640);
+    EXPECT_EQ(p.predictedTbRuntime(), 640u);
+}
