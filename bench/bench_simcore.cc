@@ -27,8 +27,8 @@
 #include "common/log.hh"
 #include "gpu/gpu.hh"
 #include "harness/experiment.hh"
-#include "serve/service.hh"
-#include "serve/sim_request.hh"
+#include "serve/service/service.hh"
+#include "serve/service/sim_request.hh"
 #include "workloads/registry.hh"
 
 using namespace laperm;

@@ -10,11 +10,12 @@
 # inside a fenced code block that invokes a laperm CLI binary
 # (laperm_sim, laperm_submit, laperm_served) must be a real flag of one
 # of the binaries that block mentions; and every protocol verb
-# (`"op":"..."`) in the docs must exist in serve/protocol.hh — a stale
-# doc reference is a doc bug.
+# (`"op":"..."`) in the docs must exist in serve/service/protocol.hh —
+# a stale doc reference is a doc bug.
 #
 # Serving rules: the serving binaries and every protocol verb declared
-# in src/serve/protocol.hh must be documented (README.md or DESIGN.md).
+# in src/serve/service/protocol.hh must be documented (README.md or
+# DESIGN.md).
 #
 # sim-lint rules: every lint rule the analyzer can emit (ruleName() in
 # src/tools/sim_lint.cc) must be documented in DESIGN.md, every rule
@@ -95,7 +96,7 @@ for b in laperm_served laperm_submit; do
         err "binary '$b' is not mentioned in any doc"
     fi
 done
-verbs=$(grep -oE 'kVerb[A-Za-z]+ = "[a-z]+"' src/serve/protocol.hh |
+verbs=$(grep -oE 'kVerb[A-Za-z]+ = "[a-z]+"' src/serve/service/protocol.hh |
     grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
 [ -n "$verbs" ] || err "could not extract protocol verbs"
 for v in $verbs; do

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "common/log.hh"
 #include "harness/experiment.hh"
 #include "sim/config_loader.hh"
@@ -339,8 +341,12 @@ ResultCache::storeFile(const std::string &path,
     if (p.has_parent_path())
         fs::create_directories(p.parent_path(), ec);
     // Write-then-rename so a concurrent reader (another bench process
-    // sharing the sweep cache) never sees a truncated file.
-    const std::string tmp = path + ".tmp";
+    // sharing the sweep cache) never sees a truncated file. The temp
+    // name carries the pid: cluster workers share one cache directory,
+    // and two processes storing the same key must not interleave
+    // writes into one temp file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
@@ -355,6 +361,56 @@ ResultCache::storeFile(const std::string &path,
         return false;
     }
     return true;
+}
+
+TieredResultCache::TieredResultCache(std::string dir,
+                                     std::string fingerprint)
+    : disk_(std::move(dir), std::move(fingerprint))
+{
+}
+
+TieredResultCache::Tier
+TieredResultCache::probe(const std::string &key, std::string &payload)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = mem_.find(key);
+        if (it != mem_.end()) {
+            payload = it->second;
+            return Tier::Memory;
+        }
+    }
+    if (!disk_.load(key, payload))
+        return Tier::Miss;
+    // Promote: the next probe of this key is a memory hit, and the
+    // Shared tier is only ever credited once per key per incarnation.
+    std::lock_guard<std::mutex> lock(mu_);
+    mem_.emplace(key, payload);
+    return Tier::Shared;
+}
+
+bool
+TieredResultCache::store(const std::string &key,
+                         const std::string &payload)
+{
+    const bool ok = disk_.store(key, payload);
+    std::lock_guard<std::mutex> lock(mu_);
+    mem_[key] = payload;
+    return ok;
+}
+
+void
+TieredResultCache::dropMemory()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    mem_.clear();
+}
+
+std::size_t
+TieredResultCache::memorySize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mem_.size();
 }
 
 } // namespace laperm

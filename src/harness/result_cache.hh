@@ -29,6 +29,8 @@
 #define LAPERM_HARNESS_RESULT_CACHE_HH
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -164,6 +166,64 @@ class ResultCache
   private:
     std::string dir_;
     std::string fingerprint_;
+};
+
+/**
+ * Two-tier cache for the serve layer (DESIGN.md §15.3): a per-process
+ * in-memory map (L1) in front of the fingerprint-gated on-disk
+ * ResultCache (L2). The disk tier is SHARED — every worker of a
+ * cluster points at the same directory, so a result computed by one
+ * worker is a (promoted) hit for all of them, across process restarts.
+ *
+ * probe() distinguishes where a hit came from: Memory means this
+ * process stored or already promoted the entry; Shared means the bytes
+ * came off disk — i.e. another process (or a previous incarnation of
+ * this one) paid for the run. That distinction is what the
+ * cross-worker cache-hit metrics count.
+ *
+ * Thread-safe; disk writes go through ResultCache's unique-temp
+ * rename, so concurrent writers of one key are last-writer-wins with
+ * no torn reads.
+ */
+class TieredResultCache
+{
+  public:
+    /** Empty dir/fingerprint select cacheRootDir()/simFingerprint(). */
+    explicit TieredResultCache(std::string dir = std::string(),
+                               std::string fingerprint = std::string());
+
+    enum class Tier
+    {
+        Miss,
+        Memory, ///< in-process L1
+        Shared, ///< on-disk L2; entry was promoted to L1
+    };
+
+    /** Look up @p key; fills @p payload unless Miss. */
+    Tier probe(const std::string &key, std::string &payload);
+
+    /** Write through: disk first, then the in-memory tier. */
+    bool store(const std::string &key, const std::string &payload);
+
+    /**
+     * Drop the in-memory tier (what a worker restart does to L1). The
+     * shared tier is untouched; the next probe of a stored key reports
+     * Shared. Tests and the cluster bench use this to measure
+     * cross-worker / cross-incarnation hits without forking.
+     */
+    void dropMemory();
+
+    std::size_t memorySize() const;
+    const std::string &fingerprint() const
+    {
+        return disk_.fingerprint();
+    }
+    const ResultCache &shared() const { return disk_; }
+
+  private:
+    ResultCache disk_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::string> mem_;
 };
 
 } // namespace laperm

@@ -4,9 +4,6 @@
 #include <chrono>
 #include <thread>
 
-#include <unistd.h>
-
-#include "serve/socket_util.hh"
 
 namespace laperm {
 namespace serve {
@@ -21,11 +18,7 @@ Client::~Client()
 void
 Client::close()
 {
-    if (fd_ >= 0) {
-        ::close(fd_);
-        fd_ = -1;
-    }
-    carry_.clear();
+    conn_.reset();
 }
 
 bool
@@ -34,10 +27,10 @@ Client::connect(std::string &err)
     close();
     std::uint64_t backoff = opts_.backoffMs;
     for (unsigned attempt = 0;; ++attempt) {
-        fd_ = unixConnect(opts_.socketPath, err);
-        if (fd_ >= 0) {
+        conn_ = connectTo(opts_.endpoint, err);
+        if (conn_) {
             if (opts_.recvTimeoutMs)
-                setRecvTimeout(fd_, opts_.recvTimeoutMs);
+                conn_->setRecvTimeout(opts_.recvTimeoutMs);
             return true;
         }
         if (attempt >= opts_.connectRetries)
@@ -51,17 +44,17 @@ bool
 Client::call(const std::string &request, JsonObject &response,
              std::string &err)
 {
-    if (fd_ < 0) {
+    if (!conn_) {
         err = "not connected";
         return false;
     }
-    if (!writeAll(fd_, request + "\n")) {
+    if (!conn_->writeAll(request + "\n")) {
         err = "write failed";
         close();
         return false;
     }
     std::string line;
-    if (!readLine(fd_, carry_, line)) {
+    if (!conn_->readLine(line)) {
         err = "connection closed before response";
         close();
         return false;

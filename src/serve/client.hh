@@ -1,26 +1,29 @@
 /**
  * @file
  * Client for the laperm_served protocol (DESIGN.md §10.2): connects to
- * the daemon's Unix socket, sends one JSON line per call, reads one
- * JSON line back. callWithRetry() layers deterministic exponential
- * backoff on top for `overloaded` responses and transport errors, so
- * laperm_submit degrades gracefully when the daemon sheds load.
+ * the daemon's endpoint (UDS or TCP, serve/transport), sends one JSON
+ * line per call, reads one JSON line back. callWithRetry() layers
+ * deterministic exponential backoff on top for `overloaded` responses
+ * and transport errors, so laperm_submit degrades gracefully when the
+ * daemon sheds load.
  */
 
 #ifndef LAPERM_SERVE_CLIENT_HH
 #define LAPERM_SERVE_CLIENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
-#include "serve/protocol.hh"
+#include "serve/service/protocol.hh"
+#include "serve/transport/transport.hh"
 
 namespace laperm {
 namespace serve {
 
 struct ClientOptions
 {
-    std::string socketPath = "laperm_served.sock";
+    Endpoint endpoint = Endpoint::unixAt("laperm_served.sock");
     unsigned connectRetries = 0;     ///< extra connect attempts
     std::uint64_t backoffMs = 50;    ///< initial retry backoff
     std::uint64_t maxBackoffMs = 2000;
@@ -40,7 +43,7 @@ class Client
     /** Connect (with connectRetries x backoff). False on failure. */
     bool connect(std::string &err);
 
-    bool connected() const { return fd_ >= 0; }
+    bool connected() const { return conn_ != nullptr; }
     void close();
 
     /**
@@ -62,8 +65,7 @@ class Client
 
   private:
     ClientOptions opts_;
-    int fd_ = -1;
-    std::string carry_; ///< partial-line buffer across calls
+    std::unique_ptr<Connection> conn_;
 };
 
 } // namespace serve

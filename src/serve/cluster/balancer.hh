@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cluster front end (DESIGN.md §15.4): a LineHandler that routes
+ * protocol frames to worker daemons instead of answering locally.
+ *
+ * Routing contract: `run` requests canonicalize to a 128-bit content
+ * key (serve/service sim_request) and the consistent-hash ring maps
+ * each key to exactly one worker, so the worker's single-flight map
+ * holds cluster-wide and its cache tiers stay key-partitioned. `stats`
+ * fans out and aggregates; `shutdown` fans out then stops the local
+ * session; `ping` proxies to worker 0 (all workers share one binary,
+ * hence one fingerprint).
+ *
+ * Forwarding is byte-transparent: the original request line travels to
+ * the worker verbatim and the worker's response line comes back
+ * verbatim, so a served result is byte-identical whether the client
+ * spoke to a worker directly or through the balancer.
+ *
+ * A worker that cannot be reached (crashed and not yet respawned by
+ * the supervisor) degrades to a structured `overloaded` response after
+ * the per-call reconnect budget — shedding composes across layers:
+ * workers shed on admission, the balancer sheds on worker loss.
+ */
+
+#ifndef LAPERM_SERVE_CLUSTER_BALANCER_HH
+#define LAPERM_SERVE_CLUSTER_BALANCER_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cluster/hash_ring.hh"
+#include "serve/session/handler.hh"
+#include "serve/transport/transport.hh"
+
+namespace laperm {
+namespace serve {
+
+struct BalancerOptions
+{
+    std::vector<Endpoint> workers;
+    /**
+     * Per-call (re)connect attempts x backoff. The default rides out a
+     * worker respawn: the supervisor's poll interval plus exec time is
+     * well under 40 x 50 ms.
+     */
+    unsigned connectRetries = 40;
+    std::uint64_t backoffMs = 50;
+};
+
+class BalancerHandler : public LineHandler
+{
+  public:
+    explicit BalancerHandler(BalancerOptions opts);
+    ~BalancerHandler() override;
+
+    std::string handleLine(const std::string &line) override;
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+  private:
+    struct Worker
+    {
+        Endpoint endpoint;
+        std::mutex mu; ///< serializes request/response on the link
+        std::unique_ptr<Connection> conn;
+    };
+
+    /**
+     * Send @p line to worker @p idx and read one response line,
+     * (re)connecting with the options' retry budget. False when the
+     * worker stays unreachable.
+     */
+    bool callWorker(std::size_t idx, const std::string &line,
+                    std::string &response);
+
+    std::string handleRun(const std::string &line,
+                          const std::string &key);
+    std::string handleStats();
+    std::string handleShutdown();
+
+    BalancerOptions opts_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    HashRing ring_;
+};
+
+} // namespace serve
+} // namespace laperm
+
+#endif // LAPERM_SERVE_CLUSTER_BALANCER_HH

@@ -1,0 +1,114 @@
+#include "serve/cluster/supervisor.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace laperm {
+namespace serve {
+
+Endpoint
+workerEndpoint(const Endpoint &publicEndpoint, std::size_t idx)
+{
+    if (publicEndpoint.kind == Endpoint::Kind::Unix) {
+        return Endpoint::unixAt(publicEndpoint.path + ".w" +
+                                std::to_string(idx));
+    }
+    return Endpoint::tcpAt(
+        "127.0.0.1",
+        static_cast<std::uint16_t>(publicEndpoint.port + 1 + idx));
+}
+
+Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts))
+{
+    for (std::size_t i = 0; i < opts_.workers; ++i) {
+        endpoints_.push_back(workerEndpoint(opts_.publicEndpoint, i));
+        pids_.push_back(-1);
+    }
+}
+
+bool
+Supervisor::spawn(std::size_t idx, std::string &err)
+{
+    std::vector<std::string> args;
+    args.push_back(opts_.exePath);
+    args.push_back("--listen");
+    args.push_back(endpoints_[idx].toString());
+    for (const std::string &a : opts_.workerArgs)
+        args.push_back(a);
+
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        err = "fork failed for worker " + std::to_string(idx);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: become a plain single-process daemon. exec, never
+        // run on — the parent holds locks and threads fork() does not
+        // replicate safely.
+        ::execv(argv[0], argv.data());
+        std::perror("laperm_served: execv");
+        ::_exit(127);
+    }
+    pids_[idx] = pid;
+    std::printf("laperm_served worker %zu pid %ld listening on %s\n",
+                idx, static_cast<long>(pid),
+                endpoints_[idx].toString().c_str());
+    std::fflush(stdout);
+    return true;
+}
+
+bool
+Supervisor::startAll(std::string &err)
+{
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+        if (!spawn(i, err))
+            return false;
+    }
+    return true;
+}
+
+void
+Supervisor::pollRespawn()
+{
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+        if (pids_[i] < 0)
+            continue;
+        int status = 0;
+        const pid_t r = ::waitpid(pids_[i], &status, WNOHANG);
+        if (r != pids_[i])
+            continue;
+        pids_[i] = -1;
+        std::string err;
+        if (!spawn(i, err)) {
+            std::fprintf(stderr, "laperm_served: %s\n", err.c_str());
+        }
+    }
+}
+
+void
+Supervisor::stopAll()
+{
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+        if (pids_[i] >= 0)
+            ::kill(pids_[i], SIGTERM);
+    }
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+        if (pids_[i] < 0)
+            continue;
+        int status = 0;
+        ::waitpid(pids_[i], &status, 0);
+        pids_[i] = -1;
+    }
+}
+
+} // namespace serve
+} // namespace laperm

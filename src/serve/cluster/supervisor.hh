@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cluster worker supervisor (DESIGN.md §15.4): forks N single-process
+ * daemons (fork + exec of this binary, never fork-and-run — the parent
+ * is multi-threaded by the time workers spawn) on derived endpoints,
+ * respawns any that die, and reaps them all at shutdown.
+ *
+ * Endpoint derivation from the public endpoint:
+ *   unix:PATH        -> unix:PATH.w<i>
+ *   tcp:HOST:PORT    -> tcp:127.0.0.1:<PORT+1+i>   (loopback only —
+ *                       workers are an implementation detail, not a
+ *                       public surface)
+ *
+ * Lifecycle lines ("laperm_served worker <i> pid <pid> listening on
+ * <endpoint>") go to stdout on every spawn and respawn; the cluster
+ * smoke test uses them to kill a worker and await its replacement.
+ */
+
+#ifndef LAPERM_SERVE_CLUSTER_SUPERVISOR_HH
+#define LAPERM_SERVE_CLUSTER_SUPERVISOR_HH
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "serve/transport/endpoint.hh"
+
+namespace laperm {
+namespace serve {
+
+struct SupervisorOptions
+{
+    Endpoint publicEndpoint; ///< what the balancer listens on
+    unsigned workers = 2;
+    /**
+     * Executable to spawn (normally /proc/self/exe resolved by the
+     * caller) and the flags every worker shares (--jobs, --cache-dir,
+     * ...). The supervisor appends `--listen <derived endpoint>`.
+     */
+    std::string exePath;
+    std::vector<std::string> workerArgs;
+};
+
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions opts);
+
+    /** Derived worker endpoints, index-aligned with worker ids. */
+    const std::vector<Endpoint> &workerEndpoints() const
+    {
+        return endpoints_;
+    }
+
+    /** Spawn every worker. False with @p err set if a fork/exec fails. */
+    bool startAll(std::string &err);
+
+    /**
+     * Reap exited workers (waitpid WNOHANG) and respawn them. Called
+     * from the daemon's poll loop; stops being called once shutdown
+     * begins, so workers that exit on a fanned-out `shutdown` verb are
+     * not resurrected.
+     */
+    void pollRespawn();
+
+    /** SIGTERM every live worker and wait for all of them. */
+    void stopAll();
+
+  private:
+    bool spawn(std::size_t idx, std::string &err);
+
+    SupervisorOptions opts_;
+    std::vector<Endpoint> endpoints_;
+    std::vector<pid_t> pids_; ///< -1 = not running
+};
+
+/**
+ * Derive worker @p idx's endpoint from the public one (see file
+ * comment). Exposed for the cluster bench and tests.
+ */
+Endpoint workerEndpoint(const Endpoint &publicEndpoint, std::size_t idx);
+
+} // namespace serve
+} // namespace laperm
+
+#endif // LAPERM_SERVE_CLUSTER_SUPERVISOR_HH

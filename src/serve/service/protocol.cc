@@ -1,4 +1,4 @@
-#include "serve/protocol.hh"
+#include "serve/service/protocol.hh"
 
 #include <cctype>
 #include <cstdlib>

@@ -15,8 +15,8 @@
  *   shutdown  stop accepting work and exit the daemon
  */
 
-#ifndef LAPERM_SERVE_PROTOCOL_HH
-#define LAPERM_SERVE_PROTOCOL_HH
+#ifndef LAPERM_SERVE_SERVICE_PROTOCOL_HH
+#define LAPERM_SERVE_SERVICE_PROTOCOL_HH
 
 #include <cstdint>
 #include <map>
@@ -86,4 +86,4 @@ std::string errorResponse(const std::string &status,
 } // namespace serve
 } // namespace laperm
 
-#endif // LAPERM_SERVE_PROTOCOL_HH
+#endif // LAPERM_SERVE_SERVICE_PROTOCOL_HH

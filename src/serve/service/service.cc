@@ -1,4 +1,4 @@
-#include "serve/service.hh"
+#include "serve/service/service.hh"
 
 #include <chrono>
 #include <exception>
@@ -6,6 +6,9 @@
 
 #include "common/log.hh"
 #include "harness/experiment.hh"
+#include "harness/tenant_sweep.hh"
+#include "tenant/mixes.hh"
+#include "tenant/tenant_manager.hh"
 #include "workloads/registry.hh"
 
 namespace laperm {
@@ -38,7 +41,8 @@ ServiceMetrics::jsonFields() const
 {
     return logFormat(
         "\"requests\":%llu,\"executed\":%llu,\"cache_hits\":%llu,"
-        "\"cache_misses\":%llu,\"deduped\":%llu,\"shed\":%llu,"
+        "\"cache_misses\":%llu,\"cache_mem_hits\":%llu,"
+        "\"cache_shared_hits\":%llu,\"deduped\":%llu,\"shed\":%llu,"
         "\"timeouts\":%llu,\"errors\":%llu,\"queue_depth\":%llu,"
         "\"queue_depth_peak\":%llu,\"queue_us\":%llu,\"exec_us\":%llu,"
         "\"total_us\":%llu",
@@ -46,6 +50,8 @@ ServiceMetrics::jsonFields() const
         static_cast<unsigned long long>(executed),
         static_cast<unsigned long long>(cacheHits),
         static_cast<unsigned long long>(cacheMisses),
+        static_cast<unsigned long long>(cacheMemHits),
+        static_cast<unsigned long long>(cacheSharedHits),
         static_cast<unsigned long long>(deduped),
         static_cast<unsigned long long>(shed),
         static_cast<unsigned long long>(timeouts),
@@ -62,7 +68,8 @@ ServiceMetrics::toTsv() const
 {
     return logFormat(
         "requests\t%llu\nexecuted\t%llu\ncache_hits\t%llu\n"
-        "cache_misses\t%llu\ndeduped\t%llu\nshed\t%llu\n"
+        "cache_misses\t%llu\ncache_mem_hits\t%llu\n"
+        "cache_shared_hits\t%llu\ndeduped\t%llu\nshed\t%llu\n"
         "timeouts\t%llu\nerrors\t%llu\nqueue_depth\t%llu\n"
         "queue_depth_peak\t%llu\nqueue_us\t%llu\nexec_us\t%llu\n"
         "total_us\t%llu\n",
@@ -70,6 +77,8 @@ ServiceMetrics::toTsv() const
         static_cast<unsigned long long>(executed),
         static_cast<unsigned long long>(cacheHits),
         static_cast<unsigned long long>(cacheMisses),
+        static_cast<unsigned long long>(cacheMemHits),
+        static_cast<unsigned long long>(cacheSharedHits),
         static_cast<unsigned long long>(deduped),
         static_cast<unsigned long long>(shed),
         static_cast<unsigned long long>(timeouts),
@@ -116,12 +125,21 @@ SimService::run(const SimRequest &req)
 
     // Cache probe. Skipped for trace requests: a hit would return the
     // right stats but produce none of the requested artifacts.
-    if (req.traceDir.empty() && cache_.load(out.key, out.payload)) {
-        cacheHits_.fetch_add(1, std::memory_order_relaxed);
-        out.status = RunStatus::Ok;
-        out.cached = true;
-        totalUs_.fetch_add(nowUs() - t0, std::memory_order_relaxed);
-        return out;
+    if (req.traceDir.empty()) {
+        const TieredResultCache::Tier tier =
+            cache_.probe(out.key, out.payload);
+        if (tier != TieredResultCache::Tier::Miss) {
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            if (tier == TieredResultCache::Tier::Memory)
+                cacheMemHits_.fetch_add(1, std::memory_order_relaxed);
+            else
+                cacheSharedHits_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            out.status = RunStatus::Ok;
+            out.cached = true;
+            totalUs_.fetch_add(nowUs() - t0, std::memory_order_relaxed);
+            return out;
+        }
     }
 
     // Single-flight join or admission-controlled enqueue.
@@ -196,9 +214,40 @@ SimService::execute(const SimRequest &req, const std::string &key,
     std::string payload;
     std::string error;
     try {
-        auto w = createWorkload(req.workload);
-        w->setup(req.scale, req.seed);
-        payload = runOneRecord(*w, req.cfg, req.traceDir).encode();
+        if (!req.tenants.empty()) {
+            // Tenant-mix request: the payload is the same TSV
+            // laperm_sim --tenants MIX --tenants-tsv writes, so a
+            // served mix study byte-compares against a direct run.
+            const tenant::MixSpec mix = tenant::builtinMix(req.tenants);
+            const tenant::MixStudy study =
+                tenant::runMixStudy(mix, req.cfg);
+            std::vector<TenantSweepRow> rows;
+            for (const tenant::TenantMetrics &tm :
+                 study.metrics.perTenant) {
+                TenantSweepRow r;
+                r.mix = mix.name;
+                r.preset = req.presetName;
+                r.policy = req.cfg.tbPolicy;
+                r.tenant = tm.name;
+                r.tenantId = tm.tenant;
+                r.jobs = tm.jobs;
+                r.antt = tm.antt;
+                r.p50 = tm.p50;
+                r.p95 = tm.p95;
+                r.p99 = tm.p99;
+                r.retiredTbs = tm.retiredTbs;
+                r.mixAntt = study.metrics.antt;
+                r.mixStp = study.metrics.stp;
+                r.mixJain = study.metrics.jain;
+                r.makespan = study.metrics.makespan;
+                rows.push_back(std::move(r));
+            }
+            payload = encodeTenantSweepTsv(rows);
+        } else {
+            auto w = createWorkload(req.workload);
+            w->setup(req.scale, req.seed);
+            payload = runOneRecord(*w, req.cfg, req.traceDir).encode();
+        }
     } catch (const std::exception &e) {
         error = e.what();
     }
@@ -236,6 +285,9 @@ SimService::metrics() const
     m.executed = executed_.load(std::memory_order_relaxed);
     m.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     m.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+    m.cacheMemHits = cacheMemHits_.load(std::memory_order_relaxed);
+    m.cacheSharedHits =
+        cacheSharedHits_.load(std::memory_order_relaxed);
     m.deduped = deduped_.load(std::memory_order_relaxed);
     m.shed = shed_.load(std::memory_order_relaxed);
     m.timeouts = timeouts_.load(std::memory_order_relaxed);

@@ -27,8 +27,8 @@
  * never flows from here into the simulation.
  */
 
-#ifndef LAPERM_SERVE_SERVICE_HH
-#define LAPERM_SERVE_SERVICE_HH
+#ifndef LAPERM_SERVE_SERVICE_SERVICE_HH
+#define LAPERM_SERVE_SERVICE_SERVICE_HH
 
 #include <atomic>
 #include <condition_variable>
@@ -40,7 +40,7 @@
 
 #include "harness/result_cache.hh"
 #include "harness/thread_pool.hh"
-#include "serve/sim_request.hh"
+#include "serve/service/sim_request.hh"
 
 namespace laperm {
 namespace serve {
@@ -65,8 +65,17 @@ struct ServiceMetrics
 {
     std::uint64_t requests = 0;   ///< run requests accepted for processing
     std::uint64_t executed = 0;   ///< simulations actually run
-    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheHits = 0;  ///< total = memory + shared tier
     std::uint64_t cacheMisses = 0; ///< executions triggered by a miss
+    /**
+     * Tier breakdown of cacheHits (harness TieredResultCache): memory
+     * hits were stored or promoted by this process; shared hits came
+     * off the shared disk tier — i.e. another worker (or a previous
+     * incarnation of this one) executed the simulation. Non-zero
+     * shared hits are the cluster's cross-worker dedup at work.
+     */
+    std::uint64_t cacheMemHits = 0;
+    std::uint64_t cacheSharedHits = 0;
     std::uint64_t deduped = 0;    ///< joined an in-flight execution
     std::uint64_t shed = 0;       ///< rejected by admission control
     std::uint64_t timeouts = 0;   ///< waiters that gave up
@@ -122,6 +131,13 @@ class SimService
         return cache_.fingerprint();
     }
 
+    /**
+     * Drop the in-memory cache tier, as a worker restart would. The
+     * shared disk tier survives; subsequent probes of keys it holds
+     * count as shared-tier (cross-worker) hits. Test/bench hook.
+     */
+    void dropMemoryCache() { cache_.dropMemory(); }
+
   private:
     struct Flight
     {
@@ -137,7 +153,7 @@ class SimService
                  std::uint64_t enqueuedUs);
 
     ServiceOptions opts_;
-    ResultCache cache_;
+    TieredResultCache cache_;
     std::unique_ptr<ThreadPool> pool_;
 
     mutable std::mutex mu_; ///< guards flights_ and pending_
@@ -150,6 +166,8 @@ class SimService
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> cacheMisses_{0};
+    std::atomic<std::uint64_t> cacheMemHits_{0};
+    std::atomic<std::uint64_t> cacheSharedHits_{0};
     std::atomic<std::uint64_t> deduped_{0};
     std::atomic<std::uint64_t> shed_{0};
     std::atomic<std::uint64_t> timeouts_{0};
@@ -163,4 +181,4 @@ class SimService
 } // namespace serve
 } // namespace laperm
 
-#endif // LAPERM_SERVE_SERVICE_HH
+#endif // LAPERM_SERVE_SERVICE_SERVICE_HH

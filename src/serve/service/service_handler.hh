@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Service layer entry point (DESIGN.md §15.3): a LineHandler that
+ * parses protocol frames, dispatches verbs, and answers from a local
+ * SimService. This is the single-process deployment's whole brain —
+ * Server (serve/session) feeds it frames over UDS or TCP — and it is
+ * also what each worker of a cluster runs behind the balancer
+ * (serve/cluster).
+ *
+ * Response formats are part of the protocol contract: the run / stats /
+ * ping / shutdown response lines here are byte-compatible with every
+ * prior release of the daemon.
+ */
+
+#ifndef LAPERM_SERVE_SERVICE_SERVICE_HANDLER_HH
+#define LAPERM_SERVE_SERVICE_SERVICE_HANDLER_HH
+
+#include <memory>
+#include <string>
+
+#include "serve/service/service.hh"
+#include "serve/session/handler.hh"
+
+namespace laperm {
+namespace serve {
+
+class ServiceHandler : public LineHandler
+{
+  public:
+    explicit ServiceHandler(ServiceOptions opts);
+
+    /** Dispatch one protocol line; also usable directly in tests. */
+    std::string handleLine(const std::string &line) override;
+
+    SimService &service() { return *service_; }
+
+  private:
+    std::unique_ptr<SimService> service_;
+};
+
+} // namespace serve
+} // namespace laperm
+
+#endif // LAPERM_SERVE_SERVICE_SERVICE_HANDLER_HH

@@ -1,4 +1,4 @@
-#include "serve/sim_request.hh"
+#include "serve/service/sim_request.hh"
 
 #include <algorithm>
 
@@ -7,6 +7,7 @@
 #include "harness/result_cache.hh"
 #include "sim/config_loader.hh"
 #include "sim/presets.hh"
+#include "tenant/mixes.hh"
 #include "workloads/registry.hh"
 
 namespace laperm {
@@ -165,6 +166,7 @@ SimRequest::fromJson(const JsonObject &obj, SimRequest &out,
             return false;
         }
         r.cfg.tickMode = tick; // LAPERM_TICK_MODE override survives
+        r.presetName = s;
     }
     if (obj.count("config")) {
         if (!getString(obj, "config", s)) {
@@ -210,6 +212,11 @@ SimRequest::fromJson(const JsonObject &obj, SimRequest &out,
         } else if (key == "trace_dir") {
             if (!getString(obj, key, r.traceDir)) {
                 err = "'trace_dir' must be a string";
+                return false;
+            }
+        } else if (key == "tenants") {
+            if (!getString(obj, key, r.tenants)) {
+                err = "'tenants' must be a string";
                 return false;
             }
         } else if (key == "seed") {
@@ -264,6 +271,19 @@ SimRequest::fromJson(const JsonObject &obj, SimRequest &out,
 bool
 SimRequest::validate(std::string &err) const
 {
+    if (!tenants.empty()) {
+        if (!tenant::isBuiltinMix(tenants)) {
+            err = "unknown mix '" + tenants +
+                  "' (builtin: " + tenant::mixNameList() + ")";
+            return false;
+        }
+        if (!traceDir.empty()) {
+            err = "'trace_dir' is not supported with 'tenants'";
+            return false;
+        }
+        // The mix names its own workloads; the single-app coordinates
+        // below still validate so defaults stay sane.
+    }
     const std::vector<std::string> &names = workloadNames();
     if (std::find(names.begin(), names.end(), workload) == names.end()) {
         err = "unknown workload '" + workload + "' (known: " +
@@ -285,12 +305,20 @@ SimRequest::canonical() const
     // string — every machine field, not just the ones the legacy
     // shortcuts could reach. Two requests meaning the same simulation
     // canonicalize identically however the machine was spelled.
-    return logFormat(
-               "w=%s m=%d p=%d sc=%d seed=%llu ", workload.c_str(),
-               static_cast<int>(model), static_cast<int>(policy),
-               static_cast<int>(scale),
-               static_cast<unsigned long long>(seed)) +
-           canonicalMachine(cfg);
+    std::string out =
+        logFormat("w=%s m=%d p=%d sc=%d seed=%llu ", workload.c_str(),
+                  static_cast<int>(model), static_cast<int>(policy),
+                  static_cast<int>(scale),
+                  static_cast<unsigned long long>(seed)) +
+        canonicalMachine(cfg);
+    // Appended only for tenant requests so every pre-existing
+    // single-app key is unchanged. The preset label joins because the
+    // tenant TSV payload carries it as a column — two requests may
+    // only share a cache entry if their payloads are byte-identical.
+    if (!tenants.empty())
+        out += logFormat(" tenants=%s tpreset=%s", tenants.c_str(),
+                         presetName.c_str());
+    return out;
 }
 
 std::string
@@ -312,10 +340,17 @@ SimRequest::toJson() const
         jsonEscape(workload).c_str(), wireModel(model),
         wirePolicy(policy), wireScale(scale),
         static_cast<unsigned long long>(seed));
+    // Preset travels by name (it is a label in tenant TSV rows) and
+    // the machine still travels as TOML: fromJson applies preset first,
+    // then config, so a round-trip reproduces both cfg and the label.
+    if (presetName != "k20c")
+        out += ",\"preset\":\"" + jsonEscape(presetName) + "\"";
     if (machineHash(cfg) != defaultMachineHash())
         out += ",\"config\":\"" + jsonEscape(emitMachineToml(cfg)) + "\"";
     if (!traceDir.empty())
         out += ",\"trace_dir\":\"" + jsonEscape(traceDir) + "\"";
+    if (!tenants.empty())
+        out += ",\"tenants\":\"" + jsonEscape(tenants) + "\"";
     out += "}";
     return out;
 }

@@ -8,13 +8,13 @@
  * out.
  */
 
-#ifndef LAPERM_SERVE_SIM_REQUEST_HH
-#define LAPERM_SERVE_SIM_REQUEST_HH
+#ifndef LAPERM_SERVE_SERVICE_SIM_REQUEST_HH
+#define LAPERM_SERVE_SERVICE_SIM_REQUEST_HH
 
 #include <cstdint>
 #include <string>
 
-#include "serve/protocol.hh"
+#include "serve/service/protocol.hh"
 #include "sim/config.hh"
 #include "workloads/workload.hh"
 
@@ -42,6 +42,24 @@ struct SimRequest
      * artifacts) but still stores its result.
      */
     std::string traceDir;
+
+    /**
+     * Builtin multi-tenant mix name (tenant/mixes.hh), empty for a
+     * single-app run. When set, the service routes the request through
+     * tenant::runMixStudy and the payload is the tenant-sweep TSV
+     * (harness/tenant_sweep.hh) instead of a ResultRecord line —
+     * byte-identical to `laperm_sim --tenants MIX --tenants-tsv`.
+     * Builtin names only: the daemon never reads client-named files.
+     */
+    std::string tenants;
+
+    /**
+     * Label of the last applied preset ("k20c" when none was named).
+     * Pure labeling — the machine itself is fully described by cfg —
+     * but tenant TSV rows carry a preset column, so for tenant
+     * requests it joins the canonical string.
+     */
+    std::string presetName = "k20c";
 
     /**
      * Build from a parsed protocol object. Accepted fields: workload,
@@ -82,4 +100,4 @@ struct SimRequest
 } // namespace serve
 } // namespace laperm
 
-#endif // LAPERM_SERVE_SIM_REQUEST_HH
+#endif // LAPERM_SERVE_SERVICE_SIM_REQUEST_HH

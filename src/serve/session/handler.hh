@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The seam between the session layer and whatever answers requests
+ * (DESIGN.md §15.2). A LineHandler maps one request frame to one
+ * response frame; the Server owns sockets, threads, and framing and
+ * knows nothing else. Two implementations exist: ServiceHandler
+ * (serve/service) answers locally, BalancerHandler (serve/cluster)
+ * routes to workers — and because both sit behind this interface, the
+ * session layer is byte-identical for single-process and cluster
+ * deployments.
+ */
+
+#ifndef LAPERM_SERVE_SESSION_HANDLER_HH
+#define LAPERM_SERVE_SESSION_HANDLER_HH
+
+#include <functional>
+#include <string>
+
+namespace laperm {
+namespace serve {
+
+class LineHandler
+{
+  public:
+    virtual ~LineHandler() = default;
+
+    /**
+     * Handle one request frame (no terminator) and return the
+     * response frame (no terminator). Must be callable from multiple
+     * session threads concurrently.
+     */
+    virtual std::string handleLine(const std::string &line) = 0;
+
+    /**
+     * Invoked (at most once) when the handler wants the process to
+     * stop accepting work — e.g. it dispatched a `shutdown` verb. The
+     * embedder (a Server-owning main, or a test) installs the hook;
+     * an unset hook makes shutdown requests a no-op beyond the
+     * response, which is what in-process protocol tests want.
+     */
+    void setShutdownHook(std::function<void()> hook)
+    {
+        shutdownHook_ = std::move(hook);
+    }
+
+  protected:
+    void requestShutdown()
+    {
+        if (shutdownHook_)
+            shutdownHook_();
+    }
+
+  private:
+    std::function<void()> shutdownHook_;
+};
+
+} // namespace serve
+} // namespace laperm
+
+#endif // LAPERM_SERVE_SESSION_HANDLER_HH

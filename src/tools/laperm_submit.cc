@@ -8,7 +8,9 @@
  *
  * Usage:
  *   laperm_submit [options]
- *     --socket PATH     daemon socket (default laperm_served.sock)
+ *     --connect ENDPOINT  unix:PATH | tcp:HOST:PORT | bare path
+ *                         (default unix:laperm_served.sock)
+ *     --socket PATH     legacy alias for --connect unix:PATH
  *     --workload NAME   bfs-citation, join-gaussian, ...
  *     --policy P        rr | tbpri | smxbind | adaptive (default rr)
  *     --model M         cdp | dtbl (default dtbl)
@@ -24,6 +26,9 @@
  *     --dtbl-latency N  DTBL launch latency in cycles
  *     --warp-sched W    gto | lrr
  *     --trace-dir DIR   server-side observability artifact directory
+ *     --tenants MIX     run a builtin multi-tenant mix server-side and
+ *                       print the tenant-sweep TSV (same bytes as
+ *                       laperm_sim --tenants MIX --tenants-tsv)
  *     --batch FILE      submit one JSON request per line of FILE and
  *                       print the sweep-format TSV (input order)
  *     --stats           print service metrics as "metric\tvalue" TSV
@@ -45,7 +50,7 @@
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
 #include "serve/client.hh"
-#include "serve/sim_request.hh"
+#include "serve/service/sim_request.hh"
 #include "sim/config_loader.hh"
 #include "sim/presets.hh"
 #include "tools/cli_parse.hh"
@@ -69,12 +74,14 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket PATH] [--workload NAME] "
+        "usage: %s [--connect ENDPOINT] [--socket PATH] "
+        "[--workload NAME] "
         "[--policy rr|tbpri|smxbind|adaptive] [--model cdp|dtbl] "
         "[--scale tiny|small|full|huge] [--seed N] [--preset NAME] "
         "[--config FILE] [--smx N] [--l1-kb N] "
         "[--l2-kb N] [--levels N] [--cdp-latency N] [--dtbl-latency N] "
-        "[--warp-sched gto|lrr] [--trace-dir DIR] [--batch FILE] "
+        "[--warp-sched gto|lrr] [--trace-dir DIR] [--tenants MIX] "
+        "[--batch FILE] "
         "[--stats] [--ping] [--shutdown] [--retries N] "
         "[--backoff-ms N] [--timeout-ms N]\n",
         argv0);
@@ -195,6 +202,7 @@ runStats(Client &client)
     // Field order mirrors ServiceMetrics::toTsv().
     static const char *kMetrics[] = {
         "requests",   "executed", "cache_hits",  "cache_misses",
+        "cache_mem_hits", "cache_shared_hits",
         "deduped",    "shed",     "timeouts",    "errors",
         "queue_depth", "queue_depth_peak", "queue_us", "exec_us",
         "total_us",
@@ -204,6 +212,12 @@ runStats(Client &client)
         getU64(response, name, v);
         std::printf("%s\t%llu\n", name,
                     static_cast<unsigned long long>(v));
+    }
+    // Cluster balancers append a worker count; single daemons do not.
+    std::uint64_t workers = 0;
+    if (getU64(response, "workers", workers)) {
+        std::printf("workers\t%llu\n",
+                    static_cast<unsigned long long>(workers));
     }
     return 0;
 }
@@ -278,8 +292,20 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
-        if (!std::strcmp(a, "--socket")) {
-            copts.socketPath = next_arg(i);
+        if (!std::strcmp(a, "--connect") ||
+            !std::strcmp(a, "--socket")) {
+            const bool legacy = !std::strcmp(a, "--socket");
+            const char *text = next_arg(i);
+            if (legacy) {
+                copts.endpoint = Endpoint::unixAt(text);
+            } else {
+                std::string ep_err;
+                if (!parseEndpoint(text, copts.endpoint, ep_err)) {
+                    std::fprintf(stderr, "laperm_submit: %s\n",
+                                 ep_err.c_str());
+                    return 2;
+                }
+            }
         } else if (!std::strcmp(a, "--workload")) {
             req.workload = next_arg(i);
         } else if (!std::strcmp(a, "--policy")) {
@@ -318,7 +344,8 @@ main(int argc, char **argv)
             req.seed = parse_u64(next_arg(i), "--seed");
         } else if (!std::strcmp(a, "--preset")) {
             const TickMode tick = req.cfg.tickMode;
-            req.cfg = presetConfig(next_arg(i));
+            req.presetName = next_arg(i);
+            req.cfg = presetConfig(req.presetName.c_str());
             req.cfg.tickMode = tick;
         } else if (!std::strcmp(a, "--config")) {
             std::string cfg_err;
@@ -349,6 +376,8 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (!std::strcmp(a, "--trace-dir")) {
             req.traceDir = next_arg(i);
+        } else if (!std::strcmp(a, "--tenants")) {
+            req.tenants = next_arg(i);
         } else if (!std::strcmp(a, "--batch")) {
             mode = Mode::Batch;
             batchPath = next_arg(i);
@@ -389,6 +418,24 @@ main(int argc, char **argv)
         return runShutdown(client);
     case Mode::Run:
         break;
+    }
+
+    if (!req.tenants.empty()) {
+        // Tenant payloads are a complete TSV document, not a record
+        // line: print the raw bytes (they already end in a newline) so
+        // the output cmp-matches laperm_sim --tenants-tsv.
+        JsonObject response;
+        if (!client.callWithRetry(req.toJson(), response, err))
+            return fail(err);
+        std::string status;
+        getString(response, "status", status);
+        if (status != kStatusOk)
+            return failResponse(response);
+        std::string payload;
+        if (!getString(response, "result", payload))
+            return fail("response missing 'result'");
+        std::fputs(payload.c_str(), stdout);
+        return 0;
     }
 
     ResultRecord rec;

@@ -285,12 +285,16 @@ lintLayering(const std::string &path, const std::string &content,
         const std::size_t slash = target.find('/');
         if (slash == std::string::npos)
             continue; // generated/relative header, out of scope
-        const std::string targetModule = target.substr(0, slash);
-        if (!spec.declared(targetModule)) {
+        // Resolve the include target exactly like the including file:
+        // the LAST declared directory component wins, so a nested
+        // module ("serve/transport/endpoint.hh") maps to its sublayer,
+        // not the umbrella directory — sublayer edges are enforced.
+        const std::string targetModule = moduleOfPath(target, spec);
+        if (targetModule.empty()) {
             findings.push_back(Finding{
                 path, i + 1, Rule::Layering,
                 "include \"" + target + "\" targets module '" +
-                    targetModule +
+                    target.substr(0, slash) +
                     "' which the layering spec does not declare"});
             continue;
         }

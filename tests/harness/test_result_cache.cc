@@ -262,3 +262,62 @@ TEST(ResultCacheTest, EnvOverridesFingerprintAndDir)
     unsetenv("LAPERM_CACHE_DIR");
     EXPECT_EQ(cacheRootDir(), "cache");
 }
+
+// ------------------------------------------------------------- tiered
+
+TEST(TieredResultCacheTest, ProbeDistinguishesMemoryAndSharedTiers)
+{
+    const std::string dir = tempDir("tiered_probe");
+    TieredResultCache cache(dir, "fp-tier");
+
+    std::string payload;
+    EXPECT_EQ(cache.probe("k1", payload), TieredResultCache::Tier::Miss);
+
+    // A store in THIS process lands in both tiers: hits are Memory.
+    ASSERT_TRUE(cache.store("k1", "bytes-1"));
+    EXPECT_EQ(cache.probe("k1", payload),
+              TieredResultCache::Tier::Memory);
+    EXPECT_EQ(payload, "bytes-1");
+    EXPECT_EQ(cache.memorySize(), 1u);
+
+    // A second cache on the same directory simulates another worker:
+    // its first probe comes off disk (Shared) and promotes to L1...
+    TieredResultCache other(dir, "fp-tier");
+    payload.clear();
+    EXPECT_EQ(other.probe("k1", payload),
+              TieredResultCache::Tier::Shared);
+    EXPECT_EQ(payload, "bytes-1");
+    // ...so the SECOND probe is a Memory hit.
+    EXPECT_EQ(other.probe("k1", payload),
+              TieredResultCache::Tier::Memory);
+}
+
+TEST(TieredResultCacheTest, DropMemoryExposesTheSharedTier)
+{
+    TieredResultCache cache(tempDir("tiered_drop"), "fp-tier");
+    ASSERT_TRUE(cache.store("k1", "payload"));
+    ASSERT_EQ(cache.memorySize(), 1u);
+
+    // dropMemory models a worker restart: L1 gone, shared tier intact.
+    cache.dropMemory();
+    EXPECT_EQ(cache.memorySize(), 0u);
+    std::string payload;
+    EXPECT_EQ(cache.probe("k1", payload),
+              TieredResultCache::Tier::Shared);
+    EXPECT_EQ(payload, "payload");
+}
+
+TEST(TieredResultCacheTest, FingerprintGatesTheSharedTierOnly)
+{
+    const std::string dir = tempDir("tiered_fp");
+    {
+        TieredResultCache oldBuild(dir, "fp-old");
+        ASSERT_TRUE(oldBuild.store("k1", "old-bytes"));
+    }
+    // A new build's probe must MISS the stale disk entry, not serve it
+    // as a Shared hit.
+    TieredResultCache newBuild(dir, "fp-new");
+    std::string payload;
+    EXPECT_EQ(newBuild.probe("k1", payload),
+              TieredResultCache::Tier::Miss);
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Cluster-layer tests (DESIGN.md §15.4): consistent-hash ring
+ * determinism, distribution and resize stability, and an in-process
+ * balancer over two real worker Servers — routing stability, verbatim
+ * run forwarding, stats aggregation, shutdown fan-out, and the
+ * structured overload response for an unreachable worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "serve/client.hh"
+#include "serve/cluster/balancer.hh"
+#include "serve/cluster/hash_ring.hh"
+#include "serve/service/service_handler.hh"
+#include "serve/service/sim_request.hh"
+#include "serve/session/server.hh"
+#include "sim/presets.hh"
+
+using namespace laperm;
+using namespace laperm::serve;
+
+namespace {
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string dir =
+        ::testing::TempDir() + "laperm_cluster_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+SimRequest
+tinyRequest(std::uint64_t seed)
+{
+    SimRequest req;
+    req.workload = "bfs-cage";
+    req.scale = Scale::Tiny;
+    req.seed = seed;
+    req.cfg = paperConfig();
+    req.cfg.dynParModel = req.model;
+    req.cfg.tbPolicy = req.policy;
+    req.cfg.seed = seed;
+    return req;
+}
+
+ServiceOptions
+workerOptions(const std::string &cacheDir)
+{
+    ServiceOptions o;
+    o.jobs = 2;
+    o.cacheDir = cacheDir;
+    o.fingerprint = "fp-cluster";
+    return o;
+}
+
+/**
+ * In-process cluster: N worker Servers on ephemeral-path UDS
+ * endpoints, one BalancerHandler routing onto them. What laperm_served
+ * --cluster assembles from processes, built from objects.
+ */
+struct MiniCluster
+{
+    std::vector<std::unique_ptr<ServiceHandler>> handlers;
+    std::vector<std::unique_ptr<Server>> servers;
+    std::unique_ptr<BalancerHandler> balancer;
+
+    MiniCluster(std::size_t n, const std::string &cacheDir,
+                const std::string &tag)
+    {
+        BalancerOptions bopts;
+        for (std::size_t i = 0; i < n; ++i) {
+            SessionOptions sopts;
+            sopts.endpoint = Endpoint::unixAt(
+                ::testing::TempDir() + "laperm_mc_" + tag + "_" +
+                std::to_string(i) + ".sock");
+            handlers.push_back(std::make_unique<ServiceHandler>(
+                workerOptions(cacheDir)));
+            servers.push_back(
+                std::make_unique<Server>(sopts, *handlers.back()));
+            std::string err;
+            EXPECT_TRUE(servers.back()->start(err)) << err;
+            bopts.workers.push_back(sopts.endpoint);
+        }
+        // Tests that take a worker down shouldn't wait out the full
+        // respawn-sized budget.
+        bopts.connectRetries = 2;
+        bopts.backoffMs = 10;
+        balancer = std::make_unique<BalancerHandler>(std::move(bopts));
+    }
+
+    ~MiniCluster()
+    {
+        for (auto &s : servers)
+            s->stop();
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------- hash ring
+
+TEST(HashRing, DeterministicAcrossInstances)
+{
+    const HashRing a(4), b(4);
+    EXPECT_EQ(a.points(), 4u * 64u);
+    for (int i = 0; i < 200; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        EXPECT_EQ(a.workerFor(key), b.workerFor(key)) << key;
+    }
+}
+
+TEST(HashRing, SpreadsKeysAcrossAllWorkers)
+{
+    const std::size_t n = 4;
+    const HashRing ring(n);
+    std::map<std::size_t, int> counts;
+    const int keys = 4000;
+    for (int i = 0; i < keys; ++i)
+        ++counts[ring.workerFor("content-key-" + std::to_string(i))];
+    ASSERT_EQ(counts.size(), n); // every worker owns some keys
+    for (const auto &kv : counts) {
+        // 64 vnodes keep the imbalance well under 2x of fair share.
+        EXPECT_GT(kv.second, keys / static_cast<int>(n) / 2);
+        EXPECT_LT(kv.second, keys * 2 / static_cast<int>(n));
+    }
+}
+
+TEST(HashRing, ResizeMovesOnlyAFractionOfTheKeySpace)
+{
+    // The consistent-hashing contract: growing 3 -> 4 workers remaps
+    // roughly 1/4 of keys, not all of them. That is what keeps worker
+    // L1 caches warm across a cluster resize.
+    const HashRing before(3), after(4);
+    const int keys = 4000;
+    int moved = 0;
+    for (int i = 0; i < keys; ++i) {
+        const std::string key = "content-key-" + std::to_string(i);
+        moved += (before.workerFor(key) != after.workerFor(key));
+    }
+    EXPECT_GT(moved, 0);
+    EXPECT_LT(moved, keys / 2); // ~1000 expected; far below a reshuffle
+}
+
+TEST(HashRing, SingleWorkerOwnsEverything)
+{
+    const HashRing ring(1);
+    for (int i = 0; i < 50; ++i) {
+        // Built with += : GCC 12's -Werror=restrict false-positives on
+        // the (const char* + string&&) operator+ overload here.
+        std::string key = "k";
+        key += std::to_string(i);
+        EXPECT_EQ(ring.workerFor(key), 0u) << key;
+    }
+}
+
+// ------------------------------------------------------ balancer
+
+TEST(ClusterBalancer, RunRoutesByKeyAndForwardsVerbatim)
+{
+    const std::string cacheDir = tempDir("route");
+    MiniCluster cluster(2, cacheDir, "route");
+
+    // A direct single-service run of the same request pins the
+    // expected response bytes (same cache dir must not be shared, so
+    // use a fresh one).
+    ServiceHandler direct(workerOptions(tempDir("route_direct")));
+    const SimRequest req = tinyRequest(7);
+    const std::string expected = direct.handleLine(req.toJson());
+
+    // Cold through the balancer: byte-identical except cached flag...
+    const std::string cold = cluster.balancer->handleLine(req.toJson());
+    EXPECT_EQ(cold, expected);
+    // ...and the warm replay only flips "cached" to true.
+    const std::string warm = cluster.balancer->handleLine(req.toJson());
+    JsonObject obj;
+    std::string err, s;
+    ASSERT_TRUE(parseJsonObject(warm, obj, err)) << err;
+    ASSERT_TRUE(getString(obj, "status", s));
+    EXPECT_EQ(s, kStatusOk);
+    EXPECT_EQ(obj.at("cached").type, JsonValue::Type::Bool);
+    EXPECT_TRUE(obj.at("cached").boolean);
+
+    // Exactly one worker executed it — the ring sent both calls to
+    // the same place.
+    std::uint64_t executed = 0;
+    for (auto &h : cluster.handlers)
+        executed += h->service().metrics().executed;
+    EXPECT_EQ(executed, 1u);
+}
+
+TEST(ClusterBalancer, StatsAggregateAcrossWorkersAndCountThem)
+{
+    MiniCluster cluster(2, tempDir("stats"), "stats");
+
+    // Seed distinct requests until both workers have executed work.
+    std::set<std::size_t> hit;
+    const HashRing ring(2);
+    for (std::uint64_t seed = 1; hit.size() < 2 && seed < 64; ++seed) {
+        const SimRequest req = tinyRequest(seed);
+        if (!hit.insert(ring.workerFor(req.key())).second)
+            continue;
+        const std::string resp =
+            cluster.balancer->handleLine(req.toJson());
+        ASSERT_NE(resp.find(kStatusOk), std::string::npos) << resp;
+    }
+    ASSERT_EQ(hit.size(), 2u);
+
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(
+        cluster.balancer->handleLine(R"({"op":"stats"})"), obj, err))
+        << err;
+    std::uint64_t n = 0;
+    ASSERT_TRUE(getU64(obj, "workers", n));
+    EXPECT_EQ(n, 2u);
+    ASSERT_TRUE(getU64(obj, "executed", n));
+    EXPECT_EQ(n, 2u); // summed over both workers
+    ASSERT_TRUE(getU64(obj, "requests", n));
+    EXPECT_EQ(n, 2u);
+    std::string fp;
+    ASSERT_TRUE(getString(obj, "fingerprint", fp));
+    EXPECT_EQ(fp, "fp-cluster");
+}
+
+TEST(ClusterBalancer, PingProxiesAndShutdownFansOut)
+{
+    MiniCluster cluster(2, tempDir("lifecycle"), "lifecycle");
+
+    JsonObject obj;
+    std::string err, s;
+    ASSERT_TRUE(parseJsonObject(
+        cluster.balancer->handleLine(R"({"op":"ping"})"), obj, err))
+        << err;
+    ASSERT_TRUE(getString(obj, "status", s));
+    EXPECT_EQ(s, kStatusOk);
+    ASSERT_TRUE(getString(obj, "fingerprint", s));
+    EXPECT_EQ(s, "fp-cluster");
+
+    ASSERT_TRUE(parseJsonObject(
+        cluster.balancer->handleLine(R"({"op":"shutdown"})"), obj, err))
+        << err;
+    ASSERT_TRUE(getString(obj, "status", s));
+    EXPECT_EQ(s, kStatusOk);
+    // Every worker's session saw the shutdown verb.
+    for (auto &srv : cluster.servers)
+        EXPECT_TRUE(srv->waitShutdown(10000));
+}
+
+TEST(ClusterBalancer, UnreachableWorkerDegradesToStructuredOverload)
+{
+    const std::string cacheDir = tempDir("downed");
+    MiniCluster cluster(2, cacheDir, "downed");
+
+    // Find a request owned by worker 0, then take worker 0 down.
+    const HashRing ring(2);
+    std::uint64_t seed = 1;
+    while (ring.workerFor(tinyRequest(seed).key()) != 0)
+        ++seed;
+    cluster.servers[0]->stop();
+
+    const std::string resp =
+        cluster.balancer->handleLine(tinyRequest(seed).toJson());
+    JsonObject obj;
+    std::string err, s;
+    ASSERT_TRUE(parseJsonObject(resp, obj, err)) << err << ": " << resp;
+    ASSERT_TRUE(getString(obj, "status", s));
+    EXPECT_EQ(s, kStatusOverloaded);
+    std::uint64_t retryMs = 0;
+    EXPECT_TRUE(getU64(obj, "retry_ms", retryMs));
+    EXPECT_GT(retryMs, 0u);
+
+    // The other worker keeps serving its share of the key space.
+    while (ring.workerFor(tinyRequest(seed).key()) != 1)
+        ++seed;
+    const std::string ok =
+        cluster.balancer->handleLine(tinyRequest(seed).toJson());
+    ASSERT_TRUE(parseJsonObject(ok, obj, err)) << err;
+    ASSERT_TRUE(getString(obj, "status", s));
+    EXPECT_EQ(s, kStatusOk);
+}

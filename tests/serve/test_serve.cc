@@ -18,13 +18,17 @@
 
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
+#include "harness/tenant_sweep.hh"
 #include "serve/client.hh"
-#include "serve/protocol.hh"
-#include "serve/server.hh"
-#include "serve/service.hh"
-#include "serve/sim_request.hh"
+#include "serve/service/protocol.hh"
+#include "serve/service/service.hh"
+#include "serve/service/service_handler.hh"
+#include "serve/service/sim_request.hh"
+#include "serve/session/server.hh"
 #include "sim/config_loader.hh"
 #include "sim/presets.hh"
+#include "tenant/mixes.hh"
+#include "tenant/tenant_manager.hh"
 #include "workloads/registry.hh"
 
 using namespace laperm;
@@ -279,6 +283,69 @@ TEST(ServeRequest, ValidateCatchesSemanticErrors)
     EXPECT_FALSE(r.validate(err));
 }
 
+TEST(ServeRequest, TenantsFieldRoundTripsAndExtendsTheKey)
+{
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(R"({"op":"run","tenants":"duo"})", obj,
+                                err));
+    SimRequest mix;
+    ASSERT_TRUE(SimRequest::fromJson(obj, mix, err)) << err;
+    EXPECT_EQ(mix.tenants, "duo");
+    ASSERT_TRUE(mix.validate(err)) << err;
+
+    // The canonical form names the mix and the preset label (the TSV
+    // payload carries a preset column, so the label is identity)...
+    EXPECT_NE(mix.canonical().find("tenants=duo tpreset=k20c"),
+              std::string::npos)
+        << mix.canonical();
+    // ...while a plain request's canonical bytes stay exactly as
+    // before the field existed — pre-existing cache keys must survive.
+    ASSERT_TRUE(parseJsonObject(R"({"op":"run"})", obj, err));
+    SimRequest plain;
+    ASSERT_TRUE(SimRequest::fromJson(obj, plain, err)) << err;
+    EXPECT_EQ(plain.canonical().find("tenants="), std::string::npos);
+    EXPECT_NE(plain.key(), mix.key());
+
+    // Wire round trip preserves the key; mix and preset vary it.
+    ASSERT_TRUE(parseJsonObject(mix.toJson(), obj, err)) << err;
+    SimRequest back;
+    ASSERT_TRUE(SimRequest::fromJson(obj, back, err)) << err;
+    EXPECT_EQ(back.key(), mix.key());
+
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","tenants":"quad"})", obj, err));
+    SimRequest quad;
+    ASSERT_TRUE(SimRequest::fromJson(obj, quad, err)) << err;
+    EXPECT_NE(quad.key(), mix.key());
+
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","tenants":"duo","preset":"v100"})", obj, err));
+    SimRequest onV100;
+    ASSERT_TRUE(SimRequest::fromJson(obj, onV100, err)) << err;
+    EXPECT_NE(onV100.key(), mix.key());
+}
+
+TEST(ServeRequest, TenantsValidationRejectsUnknownMixAndTraceDir)
+{
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","tenants":"nonsuch"})", obj, err));
+    SimRequest r;
+    ASSERT_TRUE(SimRequest::fromJson(obj, r, err)) << err;
+    EXPECT_FALSE(r.validate(err));
+    EXPECT_NE(err.find("nonsuch"), std::string::npos) << err;
+    EXPECT_NE(err.find("duo"), std::string::npos) << err; // names list
+
+    ASSERT_TRUE(parseJsonObject(
+        R"({"op":"run","tenants":"duo","trace_dir":"/tmp/t"})", obj,
+        err));
+    ASSERT_TRUE(SimRequest::fromJson(obj, r, err)) << err;
+    EXPECT_FALSE(r.validate(err));
+    EXPECT_NE(err.find("trace_dir"), std::string::npos) << err;
+}
+
 // ---------------------------------------------------------------- service
 
 TEST(ServeService, ColdCachedAndDirectResultsAreByteIdentical)
@@ -307,6 +374,94 @@ TEST(ServeService, ColdCachedAndDirectResultsAreByteIdentical)
     EXPECT_EQ(m.executed, 1u);
     EXPECT_EQ(m.cacheMisses, 1u);
     EXPECT_EQ(m.cacheHits, 1u);
+}
+
+TEST(ServeService, TenantMixPayloadMatchesADirectMixStudy)
+{
+    // A tenants request serves the same TSV laperm_sim --tenants MIX
+    // --tenants-tsv writes: reconstruct it from a direct runMixStudy
+    // with the identical row mapping and byte-compare.
+    SimRequest req;
+    req.tenants = "duo";
+    req.cfg = paperConfig();
+    req.cfg.dynParModel = req.model;
+    req.cfg.tbPolicy = req.policy;
+    std::string err;
+    ASSERT_TRUE(req.validate(err)) << err;
+
+    const tenant::MixSpec mix = tenant::builtinMix(req.tenants);
+    const tenant::MixStudy study = tenant::runMixStudy(mix, req.cfg);
+    std::vector<TenantSweepRow> rows;
+    for (const tenant::TenantMetrics &tm : study.metrics.perTenant) {
+        TenantSweepRow r;
+        r.mix = mix.name;
+        r.preset = req.presetName;
+        r.policy = req.cfg.tbPolicy;
+        r.tenant = tm.name;
+        r.tenantId = tm.tenant;
+        r.jobs = tm.jobs;
+        r.antt = tm.antt;
+        r.p50 = tm.p50;
+        r.p95 = tm.p95;
+        r.p99 = tm.p99;
+        r.retiredTbs = tm.retiredTbs;
+        r.mixAntt = study.metrics.antt;
+        r.mixStp = study.metrics.stp;
+        r.mixJain = study.metrics.jain;
+        r.makespan = study.metrics.makespan;
+        rows.push_back(std::move(r));
+    }
+    const std::string direct = encodeTenantSweepTsv(rows);
+
+    SimService svc(testServiceOptions(tempDir("tenant_mix")));
+    const RunOutcome cold = svc.run(req);
+    ASSERT_EQ(cold.status, RunStatus::Ok) << cold.error;
+    EXPECT_FALSE(cold.cached);
+    EXPECT_EQ(cold.payload, direct);
+
+    const RunOutcome warm = svc.run(req);
+    ASSERT_EQ(warm.status, RunStatus::Ok) << warm.error;
+    EXPECT_TRUE(warm.cached);
+    EXPECT_EQ(warm.payload, direct);
+}
+
+TEST(ServeService, CacheHitMetricsDistinguishMemoryAndSharedTiers)
+{
+    const std::string dir = tempDir("tier_metrics");
+    const SimRequest req = tinyRequest(71);
+    {
+        SimService svc(testServiceOptions(dir));
+        ASSERT_EQ(svc.run(req).status, RunStatus::Ok);
+        const RunOutcome warm = svc.run(req);
+        ASSERT_EQ(warm.status, RunStatus::Ok);
+        EXPECT_TRUE(warm.cached);
+        const ServiceMetrics m = svc.metrics();
+        EXPECT_EQ(m.cacheHits, 1u);
+        EXPECT_EQ(m.cacheMemHits, 1u);
+        EXPECT_EQ(m.cacheSharedHits, 0u);
+    }
+    {
+        // A fresh service on the same cache dir models another worker
+        // (or a restarted one): its hit comes off the shared tier.
+        SimService svc(testServiceOptions(dir));
+        const RunOutcome hit = svc.run(req);
+        ASSERT_EQ(hit.status, RunStatus::Ok) << hit.error;
+        EXPECT_TRUE(hit.cached);
+        ServiceMetrics m = svc.metrics();
+        EXPECT_EQ(m.executed, 0u);
+        EXPECT_EQ(m.cacheSharedHits, 1u);
+        EXPECT_EQ(m.cacheMemHits, 0u);
+
+        // dropMemoryCache (what a worker restart does to L1) sends the
+        // NEXT hit back to the shared tier; a hit after that is L1.
+        svc.dropMemoryCache();
+        ASSERT_EQ(svc.run(req).status, RunStatus::Ok);
+        EXPECT_EQ(svc.metrics().cacheSharedHits, 2u);
+        ASSERT_EQ(svc.run(req).status, RunStatus::Ok);
+        m = svc.metrics();
+        EXPECT_EQ(m.cacheSharedHits, 2u);
+        EXPECT_EQ(m.cacheMemHits, 1u);
+    }
 }
 
 TEST(ServeService, IdenticalInFlightRequestsAreSingleFlighted)
@@ -435,9 +590,9 @@ TEST(ServeService, InvalidRequestsErrorWithoutExecuting)
 
 TEST(ServeServer, HandleLineDispatchesAndSurvivesBadInput)
 {
-    ServerOptions opts;
-    opts.service = testServiceOptions(tempDir("dispatch"));
-    Server server(opts); // handleLine needs no socket
+    // handleLine needs no socket: the service handler is the whole
+    // brain, the session layer only feeds it frames.
+    ServiceHandler handler(testServiceOptions(tempDir("dispatch")));
 
     JsonObject resp;
     std::string err, s;
@@ -447,14 +602,14 @@ TEST(ServeServer, HandleLineDispatchesAndSurvivesBadInput)
          {"garbage", "{\"seed\":1}", R"({"op":"fly"})",
           R"({"op":"run","bogus_field":1})",
           R"({"op":"run","workload":"no-such-workload"})"}) {
-        ASSERT_TRUE(parseJsonObject(server.handleLine(bad), resp, err))
+        ASSERT_TRUE(parseJsonObject(handler.handleLine(bad), resp, err))
             << err;
         ASSERT_TRUE(getString(resp, "status", s));
         EXPECT_EQ(s, kStatusError) << bad;
     }
 
-    // ...and the very same server still answers real requests.
-    ASSERT_TRUE(parseJsonObject(server.handleLine(R"({"op":"ping"})"),
+    // ...and the very same handler still answers real requests.
+    ASSERT_TRUE(parseJsonObject(handler.handleLine(R"({"op":"ping"})"),
                                 resp, err))
         << err;
     ASSERT_TRUE(getString(resp, "status", s));
@@ -465,7 +620,7 @@ TEST(ServeServer, HandleLineDispatchesAndSurvivesBadInput)
     ASSERT_TRUE(getU64(resp, "protocol", proto));
     EXPECT_EQ(proto, static_cast<std::uint64_t>(kProtocolVersion));
 
-    ASSERT_TRUE(parseJsonObject(server.handleLine(R"({"op":"stats"})"),
+    ASSERT_TRUE(parseJsonObject(handler.handleLine(R"({"op":"stats"})"),
                                 resp, err))
         << err;
     std::uint64_t n = 0;
@@ -475,10 +630,12 @@ TEST(ServeServer, HandleLineDispatchesAndSurvivesBadInput)
 
 TEST(ServeServer, EightConcurrentClientsAllGetByteIdenticalResults)
 {
-    ServerOptions opts;
-    opts.socketPath = ::testing::TempDir() + "laperm_smoke.sock";
-    opts.service = testServiceOptions(tempDir("smoke"));
-    Server server(opts);
+    const std::string sockPath =
+        ::testing::TempDir() + "laperm_smoke.sock";
+    SessionOptions opts;
+    opts.endpoint = Endpoint::unixAt(sockPath);
+    ServiceHandler handler(testServiceOptions(tempDir("smoke")));
+    Server server(opts, handler);
     std::string err;
     ASSERT_TRUE(server.start(err)) << err;
 
@@ -489,7 +646,7 @@ TEST(ServeServer, EightConcurrentClientsAllGetByteIdenticalResults)
     for (int i = 0; i < kClients; ++i) {
         clients.emplace_back([&, i] {
             ClientOptions copts;
-            copts.socketPath = opts.socketPath;
+            copts.endpoint = opts.endpoint;
             Client client(copts);
             std::string cerr;
             if (!client.connect(cerr)) {
@@ -534,7 +691,7 @@ TEST(ServeServer, EightConcurrentClientsAllGetByteIdenticalResults)
     // Shutdown over the protocol terminates the wait loop.
     {
         ClientOptions copts;
-        copts.socketPath = opts.socketPath;
+        copts.endpoint = opts.endpoint;
         Client client(copts);
         ASSERT_TRUE(client.connect(err)) << err;
         JsonObject resp;
@@ -546,18 +703,20 @@ TEST(ServeServer, EightConcurrentClientsAllGetByteIdenticalResults)
     }
     EXPECT_TRUE(server.waitShutdown(10000));
     server.stop();
-    EXPECT_FALSE(std::filesystem::exists(opts.socketPath));
+    EXPECT_FALSE(std::filesystem::exists(sockPath));
 }
 
 TEST(ServeServer, OverloadIsStructuredAndRetryRecovers)
 {
-    ServerOptions opts;
-    opts.socketPath = ::testing::TempDir() + "laperm_overload.sock";
-    opts.service = testServiceOptions(tempDir("overload"));
-    opts.service.jobs = 1;
-    opts.service.queueCapacity = 1;
-    opts.service.testExecDelayMs = 300;
-    Server server(opts);
+    SessionOptions opts;
+    opts.endpoint =
+        Endpoint::unixAt(::testing::TempDir() + "laperm_overload.sock");
+    ServiceOptions svcOpts = testServiceOptions(tempDir("overload"));
+    svcOpts.jobs = 1;
+    svcOpts.queueCapacity = 1;
+    svcOpts.testExecDelayMs = 300;
+    ServiceHandler handler(std::move(svcOpts));
+    Server server(opts, handler);
     std::string err;
     ASSERT_TRUE(server.start(err)) << err;
 
@@ -565,7 +724,7 @@ TEST(ServeServer, OverloadIsStructuredAndRetryRecovers)
     std::string slowStatus;
     std::thread occupant([&] {
         ClientOptions copts;
-        copts.socketPath = opts.socketPath;
+        copts.endpoint = opts.endpoint;
         Client client(copts);
         std::string cerr;
         JsonObject resp;
@@ -575,12 +734,12 @@ TEST(ServeServer, OverloadIsStructuredAndRetryRecovers)
         }
     });
     ASSERT_TRUE(waitFor(
-        [&] { return server.service().metrics().queueDepth == 1; }));
+        [&] { return handler.service().metrics().queueDepth == 1; }));
 
     // A no-retry client sees the structured overload response...
     {
         ClientOptions copts;
-        copts.socketPath = opts.socketPath;
+        copts.endpoint = opts.endpoint;
         copts.overloadRetries = 0;
         Client client(copts);
         ASSERT_TRUE(client.connect(err)) << err;
@@ -598,7 +757,7 @@ TEST(ServeServer, OverloadIsStructuredAndRetryRecovers)
     // ...and a retrying client rides out the overload window.
     {
         ClientOptions copts;
-        copts.socketPath = opts.socketPath;
+        copts.endpoint = opts.endpoint;
         copts.overloadRetries = 20;
         copts.backoffMs = 50;
         Client client(copts);
@@ -614,6 +773,6 @@ TEST(ServeServer, OverloadIsStructuredAndRetryRecovers)
 
     occupant.join();
     EXPECT_EQ(slowStatus, kStatusOk);
-    EXPECT_GE(server.service().metrics().shed, 1u);
+    EXPECT_GE(handler.service().metrics().shed, 1u);
     server.stop();
 }

@@ -1,0 +1,12 @@
+// sim-lint fixture: a file directly under the umbrella directory (no
+// nested component) stays in module `serve`; its include of a nested
+// sublayer header must resolve to `transport` — a declared edge. Not
+// compiled — parsed by test_sim_lint_v2.cc.
+#include "common/log.hh"                  // declared edge: legal
+#include "serve/transport/endpoint.hh"    // serve -> transport: declared
+#include "serve/session/server.hh"        // serve -> session: declared
+
+void
+touchUmbrella()
+{
+}

@@ -1,0 +1,13 @@
+// sim-lint fixture: a file in a NESTED declared module. The path maps
+// to `transport` (last declared component), not the umbrella `serve`,
+// so reaching up into the session layer — or sideways through a
+// nested include path — must be flagged. Not compiled — parsed by
+// test_sim_lint_v2.cc.
+#include "common/log.hh"               // declared edge: legal
+#include "serve/session/server.hh"     // transport -> session: inverted
+#include "serve/client.hh"             // transport -> serve: inverted
+
+void
+touchNestedBad()
+{
+}

@@ -1,0 +1,12 @@
+// sim-lint fixture: a nested-module file using only its declared
+// dependencies (common) plus self edges spelled through the nested
+// include path. Not compiled — parsed by test_sim_lint_v2.cc.
+#include <string>
+
+#include "common/log.hh"                  // declared edge: legal
+#include "serve/transport/endpoint.hh"    // self edge via nested path
+
+void
+touchNestedGood()
+{
+}

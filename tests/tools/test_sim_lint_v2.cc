@@ -125,6 +125,21 @@ TEST(LayerSpec, ModuleOfPathUsesLastDirectoryComponent)
     EXPECT_EQ(moduleOfPath("src/unknown/x.cc", spec), "");
 }
 
+TEST(LayerSpec, NestedModulesMapToTheirSublayer)
+{
+    const LayerSpec spec = fixtureSpec();
+    // Last declared component wins: a serve/transport file is in
+    // `transport`, a plain serve/ file stays in the umbrella module.
+    EXPECT_EQ(moduleOfPath("src/serve/transport/endpoint.cc", spec),
+              "transport");
+    EXPECT_EQ(moduleOfPath("src/serve/session/server.hh", spec),
+              "session");
+    EXPECT_EQ(moduleOfPath("src/serve/client.cc", spec), "serve");
+    // Include targets resolve the same way (no trailing slash).
+    EXPECT_EQ(moduleOfPath("serve/transport/endpoint.hh", spec),
+              "transport");
+}
+
 // ------------------------------------------------------------ layering
 
 TEST(LayeringPass, UpwardIncludesAreFlagged)
@@ -140,6 +155,29 @@ TEST(LayeringPass, DeclaredEdgesPassClean)
 {
     const std::string path = fixture("mem/good_layering.cc");
     EXPECT_TRUE(lintLayering(path, readAll(path), fixtureSpec()).empty());
+}
+
+TEST(LayeringPass, NestedSublayerEdgesAreEnforced)
+{
+    // A transport file reaching up into session (or the umbrella
+    // serve module) through nested include paths is flagged: both the
+    // including file's module and the include target resolve through
+    // the last declared path component.
+    const std::string bad = fixture("serve/transport/bad_nested.cc");
+    auto fs = lintLayering(bad, readAll(bad), fixtureSpec());
+    EXPECT_EQ(countRule(fs, Rule::Layering), 2u);
+    EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(LayeringPass, NestedSelfAndDeclaredEdgesPassClean)
+{
+    // Self edge spelled via the nested path (transport including
+    // serve/transport/...) and the umbrella module including its own
+    // sublayers are both declared-legal.
+    const std::string good = fixture("serve/transport/good_nested.cc");
+    EXPECT_TRUE(lintLayering(good, readAll(good), fixtureSpec()).empty());
+    const std::string umb = fixture("serve/good_umbrella.cc");
+    EXPECT_TRUE(lintLayering(umb, readAll(umb), fixtureSpec()).empty());
 }
 
 // -------------------------------------------------------- cycle-safety
